@@ -1,0 +1,46 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark regenerates one paper table/figure.  The underlying cycle
+simulations are deterministic, so each benchmark executes its experiment
+exactly once (``benchmark.pedantic(..., rounds=1, iterations=1)``) — the
+benchmark timing records how long regenerating the artefact takes, and the
+benchmark's ``extra_info`` carries the reproduced numbers so a plain
+``pytest benchmarks/ --benchmark-only`` run documents the paper-vs-measured
+comparison.
+
+Set ``REPRO_FULL_SUITE=1`` to run the ablation on the full 260-workload suite
+(slower); the default uses a stratified subset.
+"""
+
+import os
+
+import pytest
+
+from repro.system import AcceleratorSystem, datamaestro_evaluation_system
+
+
+def pytest_report_header(config):
+    full = os.environ.get("REPRO_FULL_SUITE", "0")
+    return [f"DataMaestro reproduction benchmarks (REPRO_FULL_SUITE={full})"]
+
+
+@pytest.fixture(scope="session")
+def evaluation_design():
+    """The paper's evaluation-system design (Fig. 6)."""
+    return datamaestro_evaluation_system()
+
+
+@pytest.fixture(scope="session")
+def evaluation_system(evaluation_design):
+    """A reusable cycle-level system instance."""
+    return AcceleratorSystem(evaluation_design)
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

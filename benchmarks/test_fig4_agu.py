@@ -1,0 +1,12 @@
+"""Benchmark harness for Figure 4 (AGU address-generation example)."""
+
+from repro.experiments import fig4_agu
+
+
+def test_fig4_address_generation_example(benchmark, run_once):
+    results = run_once(fig4_agu.run)
+    assert results["matches_paper"], "AGU sequence deviates from Figure 4(c)"
+    assert len(results["rows"]) == 8
+    benchmark.extra_info["matches_paper"] = results["matches_paper"]
+    print()
+    print(fig4_agu.report(results))

@@ -1,0 +1,77 @@
+"""Benchmark harness for Figure 7 (ablation study, panels (a) and (b)).
+
+The default run uses a stratified subset of the 260-workload synthetic suite
+(a few workloads per group) so the pure-Python cycle simulation finishes in a
+few minutes; set ``REPRO_FULL_SUITE=1`` to sweep the complete suite.
+The assertions check the *shape* of the paper's Figure 7: every feature step
+improves (or at least does not hurt) its target workload group, the fully
+featured architecture approaches full utilization on GeMM, and the on-the-fly
+data-manipulation extensions reduce memory accesses.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import fig7_ablation
+
+QUICK_WORKLOADS_PER_GROUP = 4
+
+
+def _workloads_per_group():
+    if fig7_ablation.full_suite_requested(None):
+        return None
+    return QUICK_WORKLOADS_PER_GROUP
+
+
+def test_fig7_ablation_utilization_and_accesses(benchmark, run_once):
+    results = run_once(
+        fig7_ablation.run, workloads_per_group=_workloads_per_group()
+    )
+    util = results["mean_utilization"]
+    accesses = results["normalized_access_counts"]
+
+    for group in ("gemm", "transposed_gemm", "convolution"):
+        assert group in util
+
+    # (2) fine-grained prefetch lifts every group substantially over (1).
+    for group, by_step in util.items():
+        assert by_step["2_prefetch"] > 1.3 * by_step["1_baseline"], group
+
+    # (3) the Transposer specifically helps transposed GeMM (paper: 1.16x).
+    tg = util["transposed_gemm"]
+    assert tg["3_transposer"] > 1.05 * tg["2_prefetch"]
+
+    # (5) implicit im2col specifically helps convolution (paper: 1.19x).
+    conv = util["convolution"]
+    assert conv["5_im2col"] > 1.08 * conv["4_broadcaster"]
+
+    # (6) addressing-mode switching brings GeMM near 100% utilization.
+    assert util["gemm"]["6_full"] > 0.95
+    assert util["transposed_gemm"]["6_full"] > 0.95
+    assert util["convolution"]["6_full"] > 0.9
+
+    # The ladder never hurts the group it targets: final >= every other step.
+    for group, by_step in util.items():
+        assert by_step["6_full"] >= max(
+            value for step, value in by_step.items() if step != "6_full"
+        ) * 0.98, group
+
+    # Figure 7(b): extensions reduce data accesses; baseline is 1 by design.
+    for group, by_step in accesses.items():
+        assert by_step["1_baseline"] == pytest.approx(1.0)
+        assert by_step["6_full"] < 0.95, group
+    assert accesses["transposed_gemm"]["3_transposer"] < accesses[
+        "transposed_gemm"
+    ]["2_prefetch"]
+
+    # Paper headline: up to 2.89x speedup and up to 21.15% fewer accesses.
+    assert results["max_speedup"] > 2.0
+    assert results["max_access_reduction"] > 0.10
+
+    benchmark.extra_info["mean_utilization"] = util
+    benchmark.extra_info["normalized_access_counts"] = accesses
+    benchmark.extra_info["max_speedup"] = results["max_speedup"]
+    benchmark.extra_info["num_simulations"] = results["num_simulations"]
+    print()
+    print(fig7_ablation.report(results))

@@ -1,0 +1,25 @@
+"""Benchmark harness for Figure 8 (FPGA prototype resource utilization)."""
+
+from repro.experiments import fig8_fpga
+
+
+def test_fig8_fpga_resources(benchmark, run_once):
+    results = run_once(fig8_fpga.run)
+    model = results["model"]
+    paper = results["paper"]
+
+    # The GeMM array dominates the LUT count, the DataMaestros are a small
+    # fraction — the shape of the paper's Figure 8 table.
+    assert model["luts_gemm"] > 0.3 * model["luts_total"]
+    assert model["luts_datamaestros"] < 0.12 * model["luts_total"]
+    # Totals land within 2x of the reported VPK180 numbers.
+    assert 0.5 < model["luts_total"] / paper["luts_total"] < 2.0
+    assert 0.5 < model["regs_total"] / paper["regs_total"] < 2.0
+
+    benchmark.extra_info["luts_total"] = model["luts_total"]
+    benchmark.extra_info["regs_total"] = model["regs_total"]
+    benchmark.extra_info["luts_datamaestros_percent"] = model[
+        "luts_datamaestros_percent"
+    ]
+    print()
+    print(fig8_fpga.report(results))

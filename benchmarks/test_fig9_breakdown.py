@@ -1,0 +1,38 @@
+"""Benchmark harness for Figure 9 (area/power breakdowns) and §IV-D headline."""
+
+from repro.experiments import fig9_breakdown
+
+
+def test_fig9_area_and_power_breakdown(benchmark, run_once):
+    results = run_once(fig9_breakdown.run)
+    area = results["area_shares_percent"]
+    power = results["power_shares_percent"]
+    dm_a = results["datamaestro_a_composition_percent"]
+    paper = results["paper_reference"]
+
+    # Figure 9(a): the scratchpad dominates area, the five DataMaestros stay
+    # a small fraction (paper: 6.43%).
+    assert area["memory_subsystem"] > area["gemm_accelerator"]
+    assert area["datamaestros"] < 15.0
+    assert area["quantizer"] < area["gemm_accelerator"]
+
+    # Figure 9(b): the data FIFOs dominate DataMaestro A, the AGU is ~10%,
+    # the address remapper is negligible (paper: 0.49%).
+    assert dm_a["fifo_buffers"] > 70.0
+    assert 3.0 < dm_a["agu"] < 20.0
+    assert dm_a["address_remapper"] < 2.0
+
+    # Figure 9(c): DataMaestros consume a modest share of power (paper 15%).
+    assert power["datamaestros"] < 25.0
+    assert power["gemm_accelerator"] > 10.0
+
+    # §IV-D headline: energy efficiency in the same range as 2.57 TOPS/W.
+    assert 1.0 < results["energy_efficiency_tops_per_w"] < 6.0
+    assert results["gemm64_utilization"] > 0.95
+
+    benchmark.extra_info["area_shares_percent"] = area
+    benchmark.extra_info["power_shares_percent"] = power
+    benchmark.extra_info["tops_per_w"] = results["energy_efficiency_tops_per_w"]
+    benchmark.extra_info["paper_tops_per_w"] = paper["energy_efficiency_tops_per_w"]
+    print()
+    print(fig9_breakdown.report(results))

@@ -1,0 +1,38 @@
+"""Micro-benchmarks of the cycle-level simulator on individual kernels.
+
+These complement the per-figure harnesses: they time how fast the simulator
+itself executes representative kernels (useful when optimising the models)
+and record the achieved utilization of each kernel in ``extra_info``.
+"""
+
+import pytest
+
+from repro.compiler import compile_workload
+from repro.core import FeatureSet
+from repro.experiments.fig10_comparison import comparison_kernels
+from repro.workloads import GemmWorkload
+
+
+@pytest.mark.parametrize("kernel", comparison_kernels(), ids=lambda w: w.name)
+def test_simulate_kernel(benchmark, evaluation_design, evaluation_system, kernel):
+    program = compile_workload(kernel, evaluation_design, FeatureSet.all_enabled())
+
+    def run():
+        return evaluation_system.run(program)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.utilization > 0.9
+    benchmark.extra_info["utilization"] = result.utilization
+    benchmark.extra_info["kernel_cycles"] = result.kernel_cycles
+    benchmark.extra_info["simulated_cycles_per_second"] = (
+        result.kernel_cycles / benchmark.stats.stats.mean
+        if benchmark.stats.stats.mean
+        else 0.0
+    )
+
+
+def test_compile_gemm64(benchmark, evaluation_design):
+    """Time the compiler alone (layout packing + CSR generation)."""
+    workload = GemmWorkload(name="bench_compile_gemm64", m=64, n=64, k=64)
+    program = benchmark(compile_workload, workload, evaluation_design)
+    assert program.ideal_compute_cycles == 512

@@ -1,0 +1,21 @@
+"""Benchmark harness for Table I (feature comparison)."""
+
+from repro.baselines import TABLE1_FEATURES
+from repro.experiments import table1_features
+
+
+def test_table1_feature_comparison(benchmark, run_once):
+    matrix = run_once(table1_features.run)
+    assert "DataMaestro" in matrix
+    # DataMaestro is the only solution with every feature of Table I.
+    ours = matrix["DataMaestro"]
+    assert ours["programmable_affine_dims"] == "N-D"
+    full_feature_solutions = [
+        name
+        for name, features in matrix.items()
+        if all(features[f] not in (False, None) for f in TABLE1_FEATURES)
+    ]
+    assert full_feature_solutions == ["DataMaestro"]
+    benchmark.extra_info["num_solutions"] = len(matrix)
+    print()
+    print(table1_features.report(matrix))

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Addressing-mode exploration: FIMA vs GIMA vs NIMA (paper §III-D, Fig. 5).
+
+The same GeMM kernel is executed three times with different data-allocation /
+addressing strategies:
+
+* fully-interleaved (FIMA): all operands share one interleaved address space,
+  so the A/B/C/D streams fight over banks whenever their bank windows align;
+* grouped-interleaved (GIMA): the compiler places every operand in its own
+  bank group and programs the per-streamer ``RS`` CSR accordingly — this is
+  what the addressing-mode-switching feature enables at runtime;
+* the raw address-remapper view: how one logical address decodes to
+  (bank, wordline) under each mode.
+
+Run with:  python examples/addressing_modes.py
+"""
+
+from repro.compiler import compile_workload
+from repro.core import AddressRemapper, FeatureSet
+from repro.memory import AddressingMode
+from repro.system import AcceleratorSystem, datamaestro_evaluation_system
+from repro.workloads import GemmWorkload
+
+
+def show_remapper(design):
+    print("Address remapper: one logical address under each addressing mode")
+    remapper = AddressRemapper(
+        design.memory.geometry(), design.group_size_options()
+    )
+    address = 0x5A40
+    for index, mode in remapper.available_modes().items():
+        remapper.select_index(index)
+        location = remapper.decode(address)
+        print(
+            f"  RS={index} ({mode.short_name:4s}, group={remapper.selected_group_size:3d}): "
+            f"address {address:#07x} -> bank {location.bank:3d}, line {location.line:4d}"
+        )
+    print()
+
+
+def run_with_features(system, design, workload, features, label):
+    program = compile_workload(workload, design, features)
+    result = system.run(program)
+    modes = {
+        port: AddressingMode(
+            "FIMA" if cfg.bank_group_size == design.memory.num_banks
+            else ("NIMA" if cfg.bank_group_size == 1 else "GIMA")
+        ).short_name
+        for port, cfg in program.streamer_configs.items()
+    }
+    print(f"  [{label}]")
+    print(f"    per-port addressing modes : {modes}")
+    print(f"    utilization               : {result.utilization:.2%}")
+    print(f"    bank conflicts            : {result.bank_conflicts}")
+    print(f"    kernel cycles             : {result.kernel_cycles}")
+    return result
+
+
+def main():
+    design = datamaestro_evaluation_system()
+    system = AcceleratorSystem(design)
+    show_remapper(design)
+
+    workload = GemmWorkload(name="addrmode_gemm", m=64, n=64, k=96)
+    print("=" * 70)
+    print(f"GeMM {workload.m}x{workload.n}x{workload.k}: shared FIMA space vs per-operand GIMA groups")
+    print("=" * 70)
+    fima = run_with_features(
+        system,
+        design,
+        workload,
+        FeatureSet.all_enabled().with_updates(addressing_mode_switching=False),
+        "fully interleaved (switching disabled)",
+    )
+    gima = run_with_features(
+        system,
+        design,
+        workload,
+        FeatureSet.all_enabled(),
+        "per-operand bank groups (switching enabled)",
+    )
+    print()
+    print(
+        f"  addressing-mode switching removes "
+        f"{fima.bank_conflicts - gima.bank_conflicts} bank conflicts and gives a "
+        f"{fima.kernel_cycles / gima.kernel_cycles:.2f}x speed-up on this kernel"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in environments without the ``wheel`` package (the
+PEP 660 editable-install path needs ``bdist_wheel``, the legacy
+``setup.py develop`` path does not).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""DataMaestro reproduction: decoupled access/execute streaming for dataflow accelerators.
+
+This package is a cycle-level, pure-Python reproduction of the DAC 2025 paper
+*DataMaestro: A Versatile and Efficient Data Streaming Engine Bringing
+Decoupled Memory Access To Dataflow Accelerators*.  See ``DESIGN.md`` for the
+system inventory and ``EXPERIMENTS.md`` for the paper-vs-measured record of
+every table and figure.
+
+Top-level convenience imports expose the most frequently used entry points;
+the sub-packages hold the full API:
+
+* :mod:`repro.core` — the DataMaestro streaming engine itself;
+* :mod:`repro.memory` — the multi-banked scratchpad and crossbar;
+* :mod:`repro.accelerators` — the GeMM and quantization datapaths;
+* :mod:`repro.system` — the evaluation system (five DataMaestros + host);
+* :mod:`repro.compiler` — workload-to-CSR mapping, layouts and allocation;
+* :mod:`repro.workloads` — workload specs, the synthetic suite, DNN models;
+* :mod:`repro.baselines` — SotA comparator models;
+* :mod:`repro.analysis` — metrics, ablation driver, area/power models;
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from .core.params import FeatureSet, StreamerDesign, StreamerMode, StreamerRuntimeConfig
+from .core.streamer import DataMaestro
+from .memory.addressing import AddressingMode, BankGeometry
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DataMaestro",
+    "FeatureSet",
+    "StreamerDesign",
+    "StreamerMode",
+    "StreamerRuntimeConfig",
+    "AddressingMode",
+    "BankGeometry",
+    "__version__",
+]

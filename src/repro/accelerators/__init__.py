@@ -1,0 +1,14 @@
+"""Accelerator datapaths served by the DataMaestros (GeMM core, quantizer)."""
+
+from .gemm_core import GemmCore, GemmJob, StreamSink, StreamSource
+from .quantizer import QuantizationConfig, Quantizer, rescale_tile
+
+__all__ = [
+    "GemmCore",
+    "GemmJob",
+    "StreamSink",
+    "StreamSource",
+    "Quantizer",
+    "QuantizationConfig",
+    "rescale_tile",
+]

@@ -1,0 +1,126 @@
+"""Quantization accelerator: ``E_8 = Rescale(D_32)`` (paper §IV-A, Fig. 6).
+
+The quantizer post-processes the int32 accumulator tiles produced by the
+GeMM core into int8 activations using the standard fixed-point requantization
+scheme: multiply by an integer multiplier, arithmetic-shift right with
+rounding, add the output zero point and saturate to the int8 range.  The
+multiplier/shift can be scalar or per output channel (per column of the
+tile), which is exactly the case where the Broadcaster extension pays off —
+the per-channel parameters are small vectors that would otherwise have to be
+duplicated across PE rows in memory.
+
+The quantizer exposes the same sink interface as a write-mode DataMaestro
+(:meth:`input_ready` / :meth:`push_input`) so the GeMM core can be routed to
+either destination, and it forwards its int8 output words to the write-mode
+DataMaestro *E*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from ..sim.fifo import Fifo
+from ..utils.packing import bytes_to_tile, tile_to_bytes
+from .gemm_core import StreamSink
+
+
+@dataclass(frozen=True)
+class QuantizationConfig:
+    """Runtime configuration of the rescale operation."""
+
+    multiplier: Union[int, np.ndarray] = 1
+    shift: int = 0
+    zero_point: int = 0
+
+    def __post_init__(self) -> None:
+        if self.shift < 0 or self.shift > 31:
+            raise ValueError("shift must be within [0, 31]")
+        if not -128 <= self.zero_point <= 127:
+            raise ValueError("zero_point must fit in int8")
+
+
+def rescale_tile(tile: np.ndarray, config: QuantizationConfig) -> np.ndarray:
+    """Requantize an int32 tile to int8 (rounding, zero point, saturation)."""
+    accumulator = tile.astype(np.int64)
+    multiplier = np.asarray(config.multiplier, dtype=np.int64)
+    if multiplier.ndim == 1:
+        if multiplier.size != tile.shape[1]:
+            raise ValueError(
+                f"per-channel multiplier has {multiplier.size} entries, "
+                f"tile has {tile.shape[1]} output channels"
+            )
+        scaled = accumulator * multiplier[np.newaxis, :]
+    else:
+        scaled = accumulator * multiplier
+    if config.shift > 0:
+        rounding = np.int64(1) << (config.shift - 1)
+        scaled = (scaled + rounding) >> config.shift
+    shifted = scaled + config.zero_point
+    return np.clip(shifted, -128, 127).astype(np.int8)
+
+
+class Quantizer:
+    """Cycle-level quantization accelerator."""
+
+    def __init__(self, rows: int = 8, cols: int = 8, queue_depth: int = 2) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ValueError("tile dimensions must be positive")
+        self.rows = int(rows)
+        self.cols = int(cols)
+        self.config = QuantizationConfig()
+        self.output_sink: Optional[StreamSink] = None
+        self._pending: Fifo[np.ndarray] = Fifo(queue_depth, name="quantizer.pending")
+        self.tiles_processed = 0
+        self.stall_cycles = 0
+
+    # ------------------------------------------------------------------
+    def bind(self, output_sink: StreamSink) -> None:
+        """Connect the quantizer output to its write-mode DataMaestro."""
+        self.output_sink = output_sink
+
+    def configure(self, config: QuantizationConfig) -> None:
+        self.config = config
+        self._pending.clear()
+        self.tiles_processed = 0
+        self.stall_cycles = 0
+
+    # ------------------------------------------------------------------
+    # Sink interface used by the GeMM core.
+    # ------------------------------------------------------------------
+    def input_ready(self) -> bool:
+        return not self._pending.is_full
+
+    def push_input(self, word: np.ndarray) -> None:
+        if self._pending.is_full:
+            raise RuntimeError("quantizer accepted a word while not ready")
+        self._pending.push(np.asarray(word, dtype=np.uint8))
+
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        return not self._pending.is_empty
+
+    def step(self) -> bool:
+        """Requantize one pending tile if the output streamer can accept it."""
+        if self._pending.is_empty:
+            return False
+        if self.output_sink is None:
+            raise RuntimeError("quantizer stepped before bind()")
+        if not self.output_sink.input_ready():
+            self.stall_cycles += 1
+            return False
+        word = self._pending.pop()
+        tile = bytes_to_tile(word, (self.rows, self.cols), np.int32)
+        quantized = rescale_tile(tile, self.config)
+        self.output_sink.push_input(tile_to_bytes(quantized))
+        self.tiles_processed += 1
+        return True
+
+    def statistics(self) -> dict:
+        return {
+            "tiles_processed": self.tiles_processed,
+            "stall_cycles": self.stall_cycles,
+        }

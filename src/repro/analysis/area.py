@@ -1,0 +1,296 @@
+"""Parametric cell-area model (paper Fig. 9(a)/(b)) and FPGA resources (Fig. 8).
+
+Every structure is enumerated from the same design-time parameters the
+simulator uses (Table II), multiplied by the per-unit costs in
+:mod:`repro.analysis.technology`.  The reproduced quantity is the breakdown —
+which component dominates and the relative shares — rather than signed-off
+mm² numbers; see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..core.params import StreamerDesign
+from ..system.design import AcceleratorSystemDesign, datamaestro_evaluation_system
+from .technology import (
+    AreaCoefficients,
+    DEFAULT_AREA,
+    DEFAULT_FPGA,
+    FpgaCoefficients,
+)
+
+
+@dataclass
+class StreamerAreaBreakdown:
+    """Area composition of one DataMaestro (Fig. 9(b) style)."""
+
+    name: str
+    fifo_buffers: float = 0.0
+    agu: float = 0.0
+    mic: float = 0.0
+    address_remapper: float = 0.0
+    extensions: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return (
+            self.fifo_buffers
+            + self.agu
+            + self.mic
+            + self.address_remapper
+            + sum(self.extensions.values())
+        )
+
+    def shares_percent(self) -> Dict[str, float]:
+        total = self.total or 1.0
+        shares = {
+            "fifo_buffers": 100.0 * self.fifo_buffers / total,
+            "agu": 100.0 * self.agu / total,
+            "mic": 100.0 * self.mic / total,
+            "address_remapper": 100.0 * self.address_remapper / total,
+        }
+        for kind, area in self.extensions.items():
+            shares[kind] = 100.0 * area / total
+        return shares
+
+
+@dataclass
+class SystemAreaBreakdown:
+    """Area of the whole evaluation system (Fig. 9(a) style)."""
+
+    memory_subsystem: float
+    riscv_host: float
+    gemm_accelerator: float
+    quantizer: float
+    streamers: Dict[str, StreamerAreaBreakdown]
+
+    @property
+    def datamaestros_total(self) -> float:
+        return sum(streamer.total for streamer in self.streamers.values())
+
+    @property
+    def total(self) -> float:
+        return (
+            self.memory_subsystem
+            + self.riscv_host
+            + self.gemm_accelerator
+            + self.quantizer
+            + self.datamaestros_total
+        )
+
+    def shares_percent(self) -> Dict[str, float]:
+        total = self.total or 1.0
+        return {
+            "memory_subsystem": 100.0 * self.memory_subsystem / total,
+            "riscv_host": 100.0 * self.riscv_host / total,
+            "gemm_accelerator": 100.0 * self.gemm_accelerator / total,
+            "quantizer": 100.0 * self.quantizer / total,
+            "datamaestros": 100.0 * self.datamaestros_total / total,
+        }
+
+    def streamer_shares_percent(self) -> Dict[str, float]:
+        total = self.total or 1.0
+        return {
+            name: 100.0 * streamer.total / total
+            for name, streamer in self.streamers.items()
+        }
+
+
+class AreaModel:
+    """Component-level area model of an accelerator system design."""
+
+    def __init__(
+        self,
+        design: Optional[AcceleratorSystemDesign] = None,
+        coefficients: Optional[AreaCoefficients] = None,
+    ) -> None:
+        self.design = design or datamaestro_evaluation_system()
+        self.coeff = coefficients or DEFAULT_AREA
+
+    # ------------------------------------------------------------------
+    # Per-component areas.
+    # ------------------------------------------------------------------
+    def streamer_area(self, streamer: StreamerDesign) -> StreamerAreaBreakdown:
+        coeff = self.coeff
+        breakdown = StreamerAreaBreakdown(name=streamer.name)
+
+        data_bits = (
+            streamer.num_channels
+            * streamer.data_buffer_depth
+            * streamer.bank_width_bits
+        )
+        addr_bits = (
+            streamer.num_channels
+            * streamer.address_buffer_depth
+            * coeff.address_bits
+        )
+        breakdown.fifo_buffers = (data_bits + addr_bits) * coeff.fifo_bit
+
+        # Dual-counter temporal AGU + spatial adder tree.
+        temporal_bits = streamer.temporal_dims * 2 * 32
+        spatial_bits = streamer.spatial_dims * 32
+        adders = streamer.temporal_dims + streamer.spatial_dims + 1
+        breakdown.agu = (
+            (temporal_bits + spatial_bits) * coeff.register_bit
+            + adders * coeff.adder_32
+        )
+
+        breakdown.mic = streamer.num_channels * coeff.mic_per_channel
+
+        num_options = len(self.design.memory.resolved_group_options())
+        breakdown.address_remapper = (
+            num_options * streamer.num_channels * coeff.remapper_per_option_per_channel
+        )
+
+        word_bytes = streamer.word_bytes
+        for spec in streamer.extensions:
+            if spec.kind == "transposer":
+                breakdown.extensions["transposer"] = (
+                    word_bytes * coeff.transposer_per_byte
+                )
+            elif spec.kind == "broadcaster":
+                breakdown.extensions["broadcaster"] = (
+                    word_bytes * coeff.broadcaster_per_byte
+                )
+            else:
+                breakdown.extensions[spec.kind] = word_bytes * coeff.broadcaster_per_byte
+        return breakdown
+
+    def memory_area(self) -> float:
+        memory = self.design.memory
+        coeff = self.coeff
+        sram_bits = memory.capacity_bytes * 8
+        total_channels = sum(s.num_channels for s in self.design.streamers)
+        crossbar = (
+            total_channels * memory.bank_width_bits * coeff.crossbar_per_channel_bit
+        ) * memory.num_banks ** 0.5
+        return sram_bits * coeff.sram_bit + crossbar
+
+    def gemm_area(self) -> float:
+        coeff = self.coeff
+        design = self.design
+        macs = design.num_pes
+        accumulator_bits = design.gemm_mu * design.gemm_nu * 32
+        return macs * coeff.int8_mac + accumulator_bits * coeff.register_bit
+
+    def quantizer_area(self) -> float:
+        return self.design.gemm_nu * self.coeff.quantizer_lane
+
+    def host_area(self) -> float:
+        return self.coeff.riscv_host
+
+    # ------------------------------------------------------------------
+    def system_breakdown(self) -> SystemAreaBreakdown:
+        return SystemAreaBreakdown(
+            memory_subsystem=self.memory_area(),
+            riscv_host=self.host_area(),
+            gemm_accelerator=self.gemm_area(),
+            quantizer=self.quantizer_area(),
+            streamers={
+                streamer.name: self.streamer_area(streamer)
+                for streamer in self.design.streamers
+            },
+        )
+
+
+# ----------------------------------------------------------------------
+# FPGA resource model (Fig. 8).
+# ----------------------------------------------------------------------
+@dataclass
+class FpgaResources:
+    """LUT/register estimate of the evaluation system on the FPGA."""
+
+    luts_gemm: float
+    regs_gemm: float
+    luts_datamaestros: float
+    regs_datamaestros: float
+    luts_quantizer: float
+    regs_quantizer: float
+    luts_memory: float
+    regs_memory: float
+    luts_host_and_interconnect: float
+    regs_host_and_interconnect: float
+
+    @property
+    def luts_total(self) -> float:
+        return (
+            self.luts_gemm
+            + self.luts_datamaestros
+            + self.luts_quantizer
+            + self.luts_memory
+            + self.luts_host_and_interconnect
+        )
+
+    @property
+    def regs_total(self) -> float:
+        return (
+            self.regs_gemm
+            + self.regs_datamaestros
+            + self.regs_quantizer
+            + self.regs_memory
+            + self.regs_host_and_interconnect
+        )
+
+    def shares_percent(self) -> Dict[str, float]:
+        return {
+            "luts_gemm_percent": 100.0 * self.luts_gemm / self.luts_total,
+            "regs_gemm_percent": 100.0 * self.regs_gemm / self.regs_total,
+            "luts_datamaestros_percent": 100.0 * self.luts_datamaestros / self.luts_total,
+            "regs_datamaestros_percent": 100.0 * self.regs_datamaestros / self.regs_total,
+        }
+
+
+class FpgaResourceModel:
+    """First-order FPGA LUT/FF model of the evaluation system."""
+
+    def __init__(
+        self,
+        design: Optional[AcceleratorSystemDesign] = None,
+        coefficients: Optional[FpgaCoefficients] = None,
+    ) -> None:
+        self.design = design or datamaestro_evaluation_system()
+        self.coeff = coefficients or DEFAULT_FPGA
+
+    def _streamer_luts_regs(self, streamer: StreamerDesign) -> tuple:
+        coeff = self.coeff
+        data_bits = (
+            streamer.num_channels
+            * streamer.data_buffer_depth
+            * streamer.bank_width_bits
+        )
+        dims = streamer.temporal_dims + streamer.spatial_dims
+        luts = (
+            data_bits * coeff.luts_per_fifo_bit
+            + dims * coeff.luts_per_agu_dim
+            + streamer.num_channels * coeff.luts_per_channel
+        )
+        regs = (
+            data_bits * coeff.regs_per_fifo_bit
+            + dims * coeff.regs_per_agu_dim
+            + streamer.num_channels * coeff.regs_per_channel
+        )
+        return luts, regs
+
+    def estimate(self) -> FpgaResources:
+        coeff = self.coeff
+        design = self.design
+        dm_luts = 0.0
+        dm_regs = 0.0
+        for streamer in design.streamers:
+            luts, regs = self._streamer_luts_regs(streamer)
+            dm_luts += luts
+            dm_regs += regs
+        return FpgaResources(
+            luts_gemm=design.num_pes * coeff.luts_per_mac,
+            regs_gemm=design.num_pes * coeff.regs_per_mac,
+            luts_datamaestros=dm_luts,
+            regs_datamaestros=dm_regs,
+            luts_quantizer=design.gemm_nu * coeff.luts_per_quantizer_lane,
+            regs_quantizer=design.gemm_nu * coeff.regs_per_quantizer_lane,
+            luts_memory=design.memory.num_banks * coeff.luts_per_bank,
+            regs_memory=design.memory.num_banks * coeff.regs_per_bank,
+            luts_host_and_interconnect=coeff.luts_host_and_interconnect,
+            regs_host_and_interconnect=coeff.regs_host_and_interconnect,
+        )

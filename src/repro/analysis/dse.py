@@ -1,0 +1,160 @@
+"""Design-space exploration helpers (design-time parameter sweeps).
+
+DataMaestro's defining property is that its data-movement behaviour is set by
+*design-time parameters* (Table II) — FIFO depths, channel counts, bank
+counts, bank-group options — rather than being hard-wired to one accelerator.
+This module provides small sweep drivers that quantify those design choices
+on the cycle-level model, in the spirit of the paper's discussion of
+design-time configurability:
+
+* :func:`sweep_data_fifo_depth` — how deep the per-channel data FIFOs must be
+  before memory latency and bank-conflict jitter are fully hidden (the paper
+  uses depth 8 for the A/B streams);
+* :func:`sweep_bank_count` — sensitivity of utilization to the number of
+  scratchpad banks;
+* :func:`sweep_gima_group_size` — effect of the bank-group size used by the
+  addressing-mode-switching allocator.
+
+Each sweep returns one record per design point with the measured utilization
+and bank conflicts, ready for tabulation by the reporting helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from ..compiler.mapper import compile_workload
+from ..core.params import FeatureSet, MemoryDesign, StreamerDesign
+from ..system.design import AcceleratorSystemDesign, datamaestro_evaluation_system
+from ..system.system import AcceleratorSystem
+from ..workloads.spec import GemmWorkload, Workload
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated configuration of a design-time sweep."""
+
+    parameter: str
+    value: int
+    utilization: float
+    kernel_cycles: int
+    bank_conflicts: int
+    memory_accesses: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "parameter": self.parameter,
+            "value": self.value,
+            "utilization": self.utilization,
+            "kernel_cycles": self.kernel_cycles,
+            "bank_conflicts": self.bank_conflicts,
+            "memory_accesses": self.memory_accesses,
+        }
+
+
+def default_sweep_workload() -> GemmWorkload:
+    """A mid-sized GeMM used as the default sweep kernel."""
+    return GemmWorkload(name="dse_gemm", m=64, n=64, k=96)
+
+
+def _evaluate(
+    design: AcceleratorSystemDesign,
+    workload: Workload,
+    parameter: str,
+    value: int,
+    features: FeatureSet,
+    seed: int,
+) -> DesignPoint:
+    system = AcceleratorSystem(design)
+    program = compile_workload(workload, design, features, seed=seed)
+    result = system.run(program)
+    return DesignPoint(
+        parameter=parameter,
+        value=value,
+        utilization=result.utilization,
+        kernel_cycles=result.kernel_cycles,
+        bank_conflicts=result.bank_conflicts,
+        memory_accesses=result.memory_accesses,
+    )
+
+
+def _with_streamer_overrides(
+    design: AcceleratorSystemDesign,
+    port_names: Sequence[str],
+    **overrides: object,
+) -> AcceleratorSystemDesign:
+    streamers: List[StreamerDesign] = []
+    for streamer in design.streamers:
+        if streamer.name in port_names:
+            streamers.append(replace(streamer, **overrides))
+        else:
+            streamers.append(streamer)
+    return replace(design, streamers=tuple(streamers))
+
+
+def sweep_data_fifo_depth(
+    depths: Sequence[int] = (1, 2, 4, 8, 16),
+    workload: Optional[Workload] = None,
+    features: Optional[FeatureSet] = None,
+    base_design: Optional[AcceleratorSystemDesign] = None,
+    seed: int = 0,
+) -> List[DesignPoint]:
+    """Sweep the data-FIFO depth of the per-cycle operand streams (A and B)."""
+    workload = workload or default_sweep_workload()
+    features = features or FeatureSet.all_enabled()
+    base_design = base_design or datamaestro_evaluation_system()
+    points = []
+    for depth in depths:
+        design = _with_streamer_overrides(
+            base_design,
+            ("A", "B"),
+            data_buffer_depth=int(depth),
+            address_buffer_depth=max(int(depth), 2),
+        )
+        points.append(
+            _evaluate(design, workload, "data_fifo_depth", int(depth), features, seed)
+        )
+    return points
+
+
+def sweep_bank_count(
+    bank_counts: Sequence[int] = (32, 64, 128),
+    workload: Optional[Workload] = None,
+    features: Optional[FeatureSet] = None,
+    seed: int = 0,
+) -> List[DesignPoint]:
+    """Sweep the number of scratchpad banks (at constant total capacity)."""
+    workload = workload or default_sweep_workload()
+    features = features or FeatureSet.all_enabled()
+    points = []
+    for banks in bank_counts:
+        design = datamaestro_evaluation_system(
+            num_banks=int(banks), gima_group_size=max(int(banks) // 4, 1)
+        )
+        points.append(_evaluate(design, workload, "num_banks", int(banks), features, seed))
+    return points
+
+
+def sweep_gima_group_size(
+    group_sizes: Sequence[int] = (8, 16, 32, 64),
+    workload: Optional[Workload] = None,
+    seed: int = 0,
+) -> List[DesignPoint]:
+    """Sweep the bank-group size used when addressing-mode switching is on."""
+    workload = workload or default_sweep_workload()
+    features = FeatureSet.all_enabled()
+    points = []
+    for group in group_sizes:
+        design = datamaestro_evaluation_system(gima_group_size=int(group))
+        points.append(
+            _evaluate(design, workload, "gima_group_size", int(group), features, seed)
+        )
+    return points
+
+
+def best_point(points: Sequence[DesignPoint]) -> DesignPoint:
+    """The design point with the highest utilization (ties: fewest cycles)."""
+    if not points:
+        raise ValueError("no design points to choose from")
+    return max(points, key=lambda p: (p.utilization, -p.kernel_cycles))

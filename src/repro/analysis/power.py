@@ -1,0 +1,152 @@
+"""Activity-driven power/energy model (paper Fig. 9(c) and §IV-D headline).
+
+Dynamic power is computed from the activity counts the cycle-level simulation
+measures (MACs fired, scratchpad words accessed, words streamed, elements
+requantized) multiplied by per-event energies, plus a leakage term
+proportional to the modelled cell area and a fixed host power; at 1 GHz,
+pJ-per-cycle equals mW, which keeps the conversion transparent.
+
+The paper's reference point is an M=N=K=64 GeMM ("GeMM-64") running at 1 GHz;
+:func:`gemm64_power_report` reproduces that experiment end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..compiler.mapper import compile_workload
+from ..core.params import FeatureSet
+from ..sim.result import SimulationResult
+from ..system.design import AcceleratorSystemDesign, datamaestro_evaluation_system
+from ..system.system import AcceleratorSystem
+from ..workloads.spec import GemmWorkload
+from .area import AreaModel, SystemAreaBreakdown
+from .technology import DEFAULT_ENERGY, EnergyCoefficients
+
+
+@dataclass
+class PowerBreakdown:
+    """Average power per component while executing one kernel (mW)."""
+
+    gemm_accelerator: float
+    memory_subsystem: float
+    datamaestros: float
+    quantizer: float
+    riscv_host: float
+    leakage: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.gemm_accelerator
+            + self.memory_subsystem
+            + self.datamaestros
+            + self.quantizer
+            + self.riscv_host
+            + self.leakage
+        )
+
+    def shares_percent(self) -> Dict[str, float]:
+        total = self.total or 1.0
+        return {
+            "gemm_accelerator": 100.0 * self.gemm_accelerator / total,
+            "memory_subsystem": 100.0 * self.memory_subsystem / total,
+            "datamaestros": 100.0 * self.datamaestros / total,
+            "quantizer": 100.0 * self.quantizer / total,
+            "riscv_host": 100.0 * self.riscv_host / total,
+            "leakage": 100.0 * self.leakage / total,
+        }
+
+
+class PowerModel:
+    """Converts simulation activity into a component power breakdown."""
+
+    def __init__(
+        self,
+        design: Optional[AcceleratorSystemDesign] = None,
+        coefficients: Optional[EnergyCoefficients] = None,
+        area_model: Optional[AreaModel] = None,
+    ) -> None:
+        self.design = design or datamaestro_evaluation_system()
+        self.coeff = coefficients or DEFAULT_ENERGY
+        self.area_model = area_model or AreaModel(self.design)
+
+    # ------------------------------------------------------------------
+    def breakdown(self, result: SimulationResult) -> PowerBreakdown:
+        """Average power while the kernel of ``result`` was executing."""
+        cycles = max(result.kernel_cycles, 1)
+        frequency = self.design.clock_frequency_ghz
+        coeff = self.coeff
+
+        macs_fired = result.counters.get("gemm_mac_cycles", 0) * self.design.num_pes
+        gemm_pj = macs_fired * coeff.int8_mac
+
+        memory_pj = result.memory_accesses * coeff.sram_word_access
+
+        words_streamed = 0
+        for stats in result.streamer_stats.values():
+            words_streamed += stats.requests_granted
+        streamer_pj = words_streamed * coeff.streamer_word
+
+        quant_elements = (
+            result.counters.get("quantizer_tiles", 0)
+            * self.design.gemm_mu
+            * self.design.gemm_nu
+        )
+        quant_pj = quant_elements * coeff.quantizer_element
+
+        area = self.area_model.system_breakdown()
+        leakage_mw = area.total * coeff.leakage_per_area
+
+        # pJ per cycle × GHz = mW.
+        scale = frequency / cycles
+        return PowerBreakdown(
+            gemm_accelerator=gemm_pj * scale,
+            memory_subsystem=memory_pj * scale,
+            datamaestros=streamer_pj * scale,
+            quantizer=quant_pj * scale,
+            riscv_host=coeff.riscv_host_mw,
+            leakage=leakage_mw,
+        )
+
+    def energy_efficiency_tops_per_w(self, result: SimulationResult) -> float:
+        """System-level TOPS/W for the kernel of ``result``."""
+        power = self.breakdown(result)
+        throughput_gops = result.throughput_gops(
+            num_pes=self.design.num_pes,
+            frequency_ghz=self.design.clock_frequency_ghz,
+        )
+        if power.total <= 0:
+            return 0.0
+        return throughput_gops / power.total  # GOPS / mW == TOPS / W
+
+
+def gemm64_power_report(
+    design: Optional[AcceleratorSystemDesign] = None,
+    area_breakdown: Optional[SystemAreaBreakdown] = None,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Reproduce the paper's §IV-D reference point: GeMM-64 at 1 GHz.
+
+    Returns the power breakdown, total power and energy efficiency, plus the
+    simulation result the numbers were derived from.
+    """
+    design = design or datamaestro_evaluation_system()
+    system = AcceleratorSystem(design)
+    workload = GemmWorkload(name="gemm64_power_ref", m=64, n=64, k=64, quantize=True)
+    program = compile_workload(workload, design, FeatureSet.all_enabled(), seed=seed)
+    result = system.run(program)
+    area_model = AreaModel(design)
+    power_model = PowerModel(design, area_model=area_model)
+    breakdown = power_model.breakdown(result)
+    return {
+        "workload": workload.name,
+        "utilization": result.utilization,
+        "power_breakdown_mw": breakdown,
+        "power_shares_percent": breakdown.shares_percent(),
+        "total_power_mw": breakdown.total,
+        "energy_efficiency_tops_per_w": power_model.energy_efficiency_tops_per_w(result),
+        "simulation": result,
+        "area_breakdown": area_breakdown or area_model.system_breakdown(),
+    }

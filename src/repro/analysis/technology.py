@@ -1,0 +1,143 @@
+"""Technology constants for the first-order area / energy / FPGA models.
+
+The paper reports silicon results (GlobalFoundries 22FDX, 1 GHz, 0.8 V) and
+an AMD VPK180 FPGA prototype.  A pure-Python reproduction cannot run
+synthesis, so Figures 8–10 are reproduced with a component-level parametric
+model in the spirit of Accelergy: every hardware structure is assigned a
+per-unit cost (per SRAM bit, per FIFO register bit, per int8 MAC, ...), the
+structures are enumerated from the same design-time parameters the simulator
+uses, and dynamic energy is driven by the activity counts the cycle model
+measures.
+
+The constants below are calibrated so the *shares* of the evaluation system's
+breakdown land near the paper's reported percentages; the absolute values are
+representative 22nm-class numbers, not signed-off silicon data.  They are
+deliberately centralised here so a user can re-calibrate them for another
+technology without touching the models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AreaCoefficients:
+    """Cell-area cost per structural unit (arbitrary units ≈ µm² in 22nm)."""
+
+    #: One bit of SRAM macro, including bank periphery and the crossbar share.
+    sram_bit: float = 0.26
+    #: One bit of a flip-flop-based FIFO (storage + full/empty + mux).
+    fifo_bit: float = 2.4
+    #: One bit of an ordinary pipeline/config register.
+    register_bit: float = 1.6
+    #: One 32-bit adder (AGU stride counters, adder tree).
+    adder_32: float = 95.0
+    #: One int8×int8 MAC with int32 accumulation (GeMM PE).
+    int8_mac: float = 190.0
+    #: One quantizer lane (int32 multiply, shift-round, clamp).
+    quantizer_lane: float = 3400.0
+    #: Per-channel control of a Memory Interface Controller.
+    mic_per_channel: float = 18.0
+    #: Address remapper: per supported addressing-mode option per channel.
+    remapper_per_option_per_channel: float = 2.0
+    #: Transposer datapath per byte of the wide word.
+    transposer_per_byte: float = 3.5
+    #: Broadcaster datapath per byte of the wide word.
+    broadcaster_per_byte: float = 0.9
+    #: Fixed area of the RISC-V host (core + instruction/data caches + uncore).
+    riscv_host: float = 155_000.0
+    #: Crossbar switching area per requester-channel per bank-width bit.
+    crossbar_per_channel_bit: float = 0.55
+    #: Address width assumed for address FIFO entries (bits).
+    address_bits: int = 17
+
+
+@dataclass(frozen=True)
+class EnergyCoefficients:
+    """Dynamic energy per event (pJ) and static power shares.
+
+    With a 1 GHz clock, ``pJ per cycle`` equals ``mW``, which is how the
+    power model converts activity into the Figure 9(c) breakdown.
+    """
+
+    #: One 64-bit scratchpad word access (bank + crossbar traversal).
+    sram_word_access: float = 3.4
+    #: One int8 MAC operation (including its share of operand distribution).
+    int8_mac: float = 0.155
+    #: One 64-bit word moving through a DataMaestro channel
+    #: (FIFO write + read + AGU/MIC control).
+    streamer_word: float = 2.3
+    #: One output element re-quantized (multiply + shift + clamp).
+    quantizer_element: float = 1.4
+    #: Average power of the RISC-V host while orchestrating a kernel (mW).
+    riscv_host_mw: float = 106.0
+    #: Static (leakage) power per unit of modelled cell area (mW per area unit).
+    leakage_per_area: float = 2.6e-5
+
+
+@dataclass(frozen=True)
+class FpgaCoefficients:
+    """FPGA resource cost per structural unit (AMD Versal-class LUT/FF)."""
+
+    luts_per_mac: float = 230.0
+    regs_per_mac: float = 15.0
+    luts_per_fifo_bit: float = 0.45
+    regs_per_fifo_bit: float = 0.7
+    luts_per_agu_dim: float = 110.0
+    regs_per_agu_dim: float = 70.0
+    luts_per_channel: float = 95.0
+    regs_per_channel: float = 40.0
+    luts_per_quantizer_lane: float = 900.0
+    regs_per_quantizer_lane: float = 260.0
+    luts_host_and_interconnect: float = 118_000.0
+    regs_host_and_interconnect: float = 40_000.0
+    #: The scratchpad maps to BRAM/URAM, adding only glue LUTs per bank.
+    luts_per_bank: float = 60.0
+    regs_per_bank: float = 25.0
+
+
+DEFAULT_AREA = AreaCoefficients()
+DEFAULT_ENERGY = EnergyCoefficients()
+DEFAULT_FPGA = FpgaCoefficients()
+
+#: Headline silicon figures reported by the paper (§IV-D), used by the
+#: experiment reports to print "paper vs model" side by side.
+PAPER_SILICON_REFERENCE = {
+    "total_cell_area_mm2": 0.61,
+    "total_power_mw": 329.4,
+    "energy_efficiency_tops_per_w": 2.57,
+    "area_share_percent": {
+        "memory_subsystem": 44.90,
+        "riscv_host": 25.49,
+        "gemm_accelerator": 18.45,
+        "quantizer": 4.73,
+        "datamaestros": 6.43,
+    },
+    "power_share_percent": {
+        "memory_subsystem": 21.59,
+        "riscv_host": 33.01,
+        "gemm_accelerator": 24.17,
+        "quantizer": 6.16,
+        "datamaestros": 15.06,
+    },
+    "datamaestro_a_share_percent": {
+        "data_fifos": 86.71,
+        "agu": 10.00,
+        "transposer": 1.75,
+        "mic": 1.04,
+        "address_remapper": 0.49,
+    },
+}
+
+#: FPGA prototype figures reported by the paper (Fig. 8).
+PAPER_FPGA_REFERENCE = {
+    "platform": "VPK180",
+    "clock_mhz": 125,
+    "luts_total": 265_000,
+    "regs_total": 59_000,
+    "luts_gemm": 124_000,
+    "regs_gemm": 8_000,
+    "luts_datamaestros": 14_000,
+    "regs_datamaestros": 4_400,
+}

@@ -1,0 +1,75 @@
+"""State-of-the-art comparator models for Table I and Figure 10."""
+
+from typing import Dict, List
+
+from .base import (
+    TABLE1_FEATURES,
+    DataMovementSolution,
+    FeatureProfile,
+    OverheadProfile,
+)
+from .bitwave import BitWaveModel, BitWaveParameters
+from .datamaestro_profile import DataMaestroSolution
+from .feather import FeatherModel, FeatherParameters
+from .gemmini import GemminiModel, GemminiParameters, workload_as_gemm
+from .streaming import (
+    BuffetModel,
+    HwpeModel,
+    SoftbrainModel,
+    SparseProgrammableDataflowModel,
+    SsrModel,
+)
+
+
+def table1_solutions() -> List[DataMovementSolution]:
+    """All solutions compared in Table I, in the paper's column order."""
+    return [
+        GemminiModel("OS"),
+        BitWaveModel(),
+        SparseProgrammableDataflowModel(),
+        FeatherModel(),
+        SsrModel(),
+        HwpeModel(),
+        BuffetModel(),
+        SoftbrainModel(),
+        DataMaestroSolution(),
+    ]
+
+
+def throughput_baselines() -> List[DataMovementSolution]:
+    """The accelerators compared in Fig. 10 (left), excluding DataMaestro."""
+    return [GemminiModel("OS"), GemminiModel("WS"), BitWaveModel(), FeatherModel()]
+
+
+def overhead_comparison() -> Dict[str, OverheadProfile]:
+    """The Fig. 10 (right) data-movement area/power share table."""
+    comparison: Dict[str, OverheadProfile] = {}
+    for solution in (BuffetModel(), SoftbrainModel(), BitWaveModel(), FeatherModel()):
+        profile = solution.overhead_profile()
+        if profile is not None:
+            comparison[solution.name] = profile
+    return comparison
+
+
+__all__ = [
+    "TABLE1_FEATURES",
+    "DataMovementSolution",
+    "FeatureProfile",
+    "OverheadProfile",
+    "GemminiModel",
+    "GemminiParameters",
+    "BitWaveModel",
+    "BitWaveParameters",
+    "FeatherModel",
+    "FeatherParameters",
+    "SsrModel",
+    "HwpeModel",
+    "BuffetModel",
+    "SoftbrainModel",
+    "SparseProgrammableDataflowModel",
+    "DataMaestroSolution",
+    "workload_as_gemm",
+    "table1_solutions",
+    "throughput_baselines",
+    "overhead_comparison",
+]

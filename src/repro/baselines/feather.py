@@ -1,0 +1,74 @@
+"""Behavioural performance model of FEATHER.
+
+FEATHER [Tong et al., ISCA 2024] couples a flexible PE array (NEST) with a
+data-reordering network (BIRRD) that performs layout conversion on the fly,
+giving it high utilization across dataflows — it is the closest competitor in
+the paper's Figure 10, where the DataMaestro-boosted core is only 1.05–1.2×
+faster.  Its remaining losses come from reordering-pipeline overheads per
+tile and from dimension padding on its native tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..utils.packing import ceil_div
+from ..workloads.spec import ConvWorkload, Workload
+from .base import DataMovementSolution, FeatureProfile, OverheadProfile
+from .gemmini import workload_as_gemm
+
+
+@dataclass(frozen=True)
+class FeatherParameters:
+    native_tile: int = 16
+    gemm_base_utilization: float = 0.95
+    conv_base_utilization: float = 0.90
+    reorder_overhead_per_tile_cycles: float = 6.0
+    reduction_cycles_per_tile: float = 64.0
+
+
+class FeatherModel(DataMovementSolution):
+    """FEATHER: reconfigurable accelerator with on-chip data reordering."""
+
+    name = "FEATHER"
+    reference = "Tong et al., 'FEATHER', ISCA 2024"
+
+    def __init__(self, params: FeatherParameters = FeatherParameters()):
+        self.params = params
+
+    def feature_profile(self) -> FeatureProfile:
+        return FeatureProfile(
+            open_source=True,
+            reusable_design=False,
+            decoupled_access_execute=False,
+            programmable_affine_dims=2,
+            fine_grained_prefetch=False,
+            runtime_addressing_mode_switching=False,
+            on_the_fly_data_manipulation=True,
+        )
+
+    def overhead_profile(self) -> OverheadProfile:
+        return OverheadProfile(area_percent=8.9, power_percent=None)
+
+    @property
+    def has_performance_model(self) -> bool:
+        return True
+
+    def utilization(self, workload: Workload) -> float:
+        p = self.params
+        m, n, _ = workload_as_gemm(workload)
+        padding_efficiency = (m * n) / (
+            ceil_div(m, p.native_tile)
+            * p.native_tile
+            * ceil_div(n, p.native_tile)
+            * p.native_tile
+        )
+        base = (
+            p.conv_base_utilization
+            if isinstance(workload, ConvWorkload)
+            else p.gemm_base_utilization
+        )
+        pipeline_efficiency = p.reduction_cycles_per_tile / (
+            p.reduction_cycles_per_tile + p.reorder_overhead_per_tile_cycles
+        )
+        return max(0.0, min(1.0, base * pipeline_efficiency * padding_efficiency))

@@ -1,0 +1,107 @@
+"""Feature/overhead profiles of the remaining Table I data-movement solutions.
+
+These comparators appear in Table I (feature comparison) and — where the
+literature reports it — in Fig. 10 (right) (data-movement area/power share).
+The paper does not include them in the throughput comparison, so they expose
+no performance model.
+"""
+
+from __future__ import annotations
+
+from .base import DataMovementSolution, FeatureProfile, OverheadProfile
+
+
+class SsrModel(DataMovementSolution):
+    """Stream Semantic Registers: ISA-level streaming for single-issue cores."""
+
+    name = "SSR"
+    reference = "Schuiki et al., 'Stream Semantic Registers', IEEE TC 2020"
+
+    def feature_profile(self) -> FeatureProfile:
+        return FeatureProfile(
+            open_source=True,
+            reusable_design=False,
+            decoupled_access_execute=True,
+            programmable_affine_dims=4,
+            fine_grained_prefetch=False,
+            runtime_addressing_mode_switching=False,
+            on_the_fly_data_manipulation=False,
+        )
+
+
+class HwpeModel(DataMovementSolution):
+    """Hardware Processing Engines: PULP-style accelerator streamer wrapper."""
+
+    name = "HWPE"
+    reference = "Conti et al., 'HWPE 2.0 documentation', 2014"
+
+    def feature_profile(self) -> FeatureProfile:
+        return FeatureProfile(
+            open_source=True,
+            reusable_design=True,
+            decoupled_access_execute=True,
+            programmable_affine_dims=3,
+            fine_grained_prefetch=False,
+            runtime_addressing_mode_switching=False,
+            on_the_fly_data_manipulation=False,
+        )
+
+
+class BuffetModel(DataMovementSolution):
+    """Buffets: composable storage idiom for explicit data orchestration."""
+
+    name = "Buffet"
+    reference = "Pellauer et al., 'Buffets', ASPLOS 2019"
+
+    def feature_profile(self) -> FeatureProfile:
+        return FeatureProfile(
+            open_source=True,
+            reusable_design=True,
+            decoupled_access_execute=True,
+            programmable_affine_dims=2,
+            fine_grained_prefetch=True,
+            runtime_addressing_mode_switching=False,
+            on_the_fly_data_manipulation=False,
+        )
+
+    def overhead_profile(self) -> OverheadProfile:
+        return OverheadProfile(area_percent=2.0, power_percent=14.0)
+
+
+class SoftbrainModel(DataMovementSolution):
+    """Softbrain / stream-dataflow acceleration."""
+
+    name = "Softbrain"
+    reference = "Nowatzki et al., 'Stream-Dataflow Acceleration', ISCA 2017"
+
+    def feature_profile(self) -> FeatureProfile:
+        return FeatureProfile(
+            open_source=False,
+            reusable_design=False,
+            decoupled_access_execute=True,
+            programmable_affine_dims=2,
+            fine_grained_prefetch=False,
+            runtime_addressing_mode_switching=False,
+            on_the_fly_data_manipulation=False,
+        )
+
+    def overhead_profile(self) -> OverheadProfile:
+        return OverheadProfile(area_percent=4.3, power_percent=15.3)
+
+
+class SparseProgrammableDataflowModel(DataMovementSolution):
+    """Energy/bandwidth-efficient sparse programmable dataflow accelerator [3]."""
+
+    name = "Schneider et al. [3]"
+    reference = "Schneider et al., IEEE TCAS-I 2024"
+
+    def feature_profile(self) -> FeatureProfile:
+        return FeatureProfile(
+            open_source=False,
+            reusable_design=False,
+            decoupled_access_execute=False,
+            programmable_affine_dims=2,
+            fine_grained_prefetch=False,
+            runtime_addressing_mode_switching=False,
+            on_the_fly_data_manipulation=False,
+        )

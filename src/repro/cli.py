@@ -1,0 +1,194 @@
+"""Command-line interface of the DataMaestro reproduction.
+
+Provides quick access to the main entry points without writing Python:
+
+* ``python -m repro.cli list-experiments`` — list the paper tables/figures
+  that can be regenerated and how;
+* ``python -m repro.cli experiment fig7 --workloads-per-group 3`` — run one
+  experiment and print its report;
+* ``python -m repro.cli simulate-gemm 64 64 64 --quantize`` — compile and
+  cycle-simulate a single GeMM kernel on the evaluation system;
+* ``python -m repro.cli simulate-conv 16 16 16 32 --kernel 3 --stride 1`` —
+  the same for a convolution layer;
+* ``python -m repro.cli suite-info`` — describe the synthetic ablation suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.reporting import format_table
+from .compiler import compile_workload
+from .core.params import FeatureSet
+from .experiments import EXPERIMENTS
+from .system.design import datamaestro_evaluation_system
+from .system.system import AcceleratorSystem
+from .workloads.spec import ConvWorkload, GemmWorkload
+from .workloads.synthetic import FULL_SUITE_COUNTS, synthetic_suite
+
+
+def _features_from_args(args: argparse.Namespace) -> FeatureSet:
+    if getattr(args, "baseline", False):
+        return FeatureSet.all_disabled()
+    return FeatureSet.all_enabled()
+
+
+def _print_simulation(result, program) -> None:
+    rows = [
+        ["workload", program.name],
+        ["ideal compute cycles", result.ideal_compute_cycles],
+        ["kernel cycles", result.kernel_cycles],
+        ["utilization", f"{result.utilization:.2%}"],
+        ["memory word reads", result.memory_reads],
+        ["memory word writes", result.memory_writes],
+        ["bank conflicts", result.bank_conflicts],
+        ["pre-pass cycles", result.prepass_cycles],
+    ]
+    print(format_table(["metric", "value"], rows, title="Simulation result"))
+
+
+def cmd_list_experiments(_args: argparse.Namespace) -> int:
+    rows = []
+    descriptions = {
+        "table1": "Feature comparison of SotA data-movement solutions",
+        "fig4": "AGU address-generation example (4x4x4 GeMM on 2x2x2 PEs)",
+        "fig7": "Ablation study: utilization and data access counts",
+        "fig8": "FPGA prototype resource utilization",
+        "fig9": "Area and power breakdowns, energy efficiency",
+        "fig10": "Throughput and overhead comparison with SotA",
+        "table3": "Real-world DNN utilization (ResNet/VGG/ViT/BERT)",
+    }
+    for name in EXPERIMENTS:
+        rows.append([name, descriptions.get(name, ""), f"python -m repro.experiments.{EXPERIMENTS[name].__name__.split('.')[-1]}"])
+    print(format_table(["id", "paper artefact", "command"], rows, title="Experiments"))
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    module = EXPERIMENTS.get(args.name)
+    if module is None:
+        print(f"unknown experiment {args.name!r}; run 'list-experiments'", file=sys.stderr)
+        return 2
+    kwargs = {}
+    if args.name == "fig7" and args.workloads_per_group is not None:
+        kwargs["workloads_per_group"] = args.workloads_per_group
+    results = module.run(**kwargs)
+    print(module.report(results))
+    return 0
+
+
+def cmd_simulate_gemm(args: argparse.Namespace) -> int:
+    design = datamaestro_evaluation_system()
+    workload = GemmWorkload(
+        name=f"cli_gemm_{args.m}x{args.n}x{args.k}",
+        m=args.m,
+        n=args.n,
+        k=args.k,
+        transposed_a=args.transposed,
+        quantize=args.quantize,
+    )
+    program = compile_workload(workload, design, _features_from_args(args))
+    result = AcceleratorSystem(design).run(program)
+    _print_simulation(result, program)
+    return 0
+
+
+def cmd_simulate_conv(args: argparse.Namespace) -> int:
+    design = datamaestro_evaluation_system()
+    workload = ConvWorkload(
+        name=f"cli_conv_{args.height}x{args.width}x{args.cin}_{args.cout}",
+        in_height=args.height,
+        in_width=args.width,
+        in_channels=args.cin,
+        out_channels=args.cout,
+        kernel_h=args.kernel,
+        kernel_w=args.kernel,
+        stride=args.stride,
+        padding=args.padding,
+        quantize=args.quantize,
+    )
+    program = compile_workload(workload, design, _features_from_args(args))
+    result = AcceleratorSystem(design).run(program)
+    _print_simulation(result, program)
+    return 0
+
+
+def cmd_suite_info(_args: argparse.Namespace) -> int:
+    suite = synthetic_suite()
+    rows = []
+    for group, workloads in suite.items():
+        rows.append(
+            [
+                group.value,
+                len(workloads),
+                workloads[0].name,
+                workloads[-1].name,
+            ]
+        )
+    print(
+        format_table(
+            ["group", "count", "first workload", "last workload"],
+            rows,
+            title=f"Synthetic ablation suite ({sum(FULL_SUITE_COUNTS.values())} workloads)",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DataMaestro reproduction command-line interface"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser(
+        "list-experiments", help="list the reproducible paper tables/figures"
+    ).set_defaults(func=cmd_list_experiments)
+
+    experiment = subparsers.add_parser("experiment", help="run one experiment")
+    experiment.add_argument("name", help="experiment id (e.g. fig7, table3)")
+    experiment.add_argument(
+        "--workloads-per-group",
+        type=int,
+        default=None,
+        help="subset size per workload group (fig7 only)",
+    )
+    experiment.set_defaults(func=cmd_experiment)
+
+    gemm = subparsers.add_parser("simulate-gemm", help="simulate one GeMM kernel")
+    gemm.add_argument("m", type=int)
+    gemm.add_argument("n", type=int)
+    gemm.add_argument("k", type=int)
+    gemm.add_argument("--transposed", action="store_true", help="A operand stored transposed")
+    gemm.add_argument("--quantize", action="store_true", help="requantize the output to int8")
+    gemm.add_argument("--baseline", action="store_true", help="disable every DataMaestro feature")
+    gemm.set_defaults(func=cmd_simulate_gemm)
+
+    conv = subparsers.add_parser("simulate-conv", help="simulate one convolution layer")
+    conv.add_argument("height", type=int)
+    conv.add_argument("width", type=int)
+    conv.add_argument("cin", type=int)
+    conv.add_argument("cout", type=int)
+    conv.add_argument("--kernel", type=int, default=3)
+    conv.add_argument("--stride", type=int, default=1)
+    conv.add_argument("--padding", type=int, default=0)
+    conv.add_argument("--quantize", action="store_true")
+    conv.add_argument("--baseline", action="store_true")
+    conv.set_defaults(func=cmd_simulate_conv)
+
+    subparsers.add_parser(
+        "suite-info", help="describe the synthetic ablation workload suite"
+    ).set_defaults(func=cmd_suite_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Compiler: layouts, allocation and workload-to-CSR lowering."""
+
+from .allocator import (
+    AllocationError,
+    AllocationPlan,
+    MemoryAllocator,
+    RegionAllocation,
+)
+from .mapper import compile_conv, compile_gemm, compile_workload, extract_outputs
+from .programs import KernelProgram, PrePass, ReadbackSpec, TensorLoad
+from .reference import conv2d_reference, gemm_reference, im2col_reference
+from .tiling import (
+    TileSlice,
+    TilingError,
+    TilingPlan,
+    tile_convolution,
+    tile_gemm,
+    tile_workload,
+)
+
+__all__ = [
+    "MemoryAllocator",
+    "AllocationPlan",
+    "AllocationError",
+    "RegionAllocation",
+    "compile_workload",
+    "compile_gemm",
+    "compile_conv",
+    "extract_outputs",
+    "KernelProgram",
+    "TensorLoad",
+    "PrePass",
+    "ReadbackSpec",
+    "gemm_reference",
+    "conv2d_reference",
+    "im2col_reference",
+    "TilingPlan",
+    "TileSlice",
+    "TilingError",
+    "tile_gemm",
+    "tile_convolution",
+    "tile_workload",
+]

@@ -1,0 +1,279 @@
+"""Tensor data layouts (paper §II-A and Fig. 3).
+
+The compiler places every operand in the scratchpad using a *blocked* layout
+matched to the PE-array tiling, so that each wide word the streamers fetch is
+one contiguous ``Mu×Ku`` / ``Ku×Nu`` / ``Mu×Nu`` tile:
+
+* GeMM left operand ``A[M, K]`` — block-row-major ``[m2][k2][m1][k1]``
+  (Fig. 3(c));
+* transposed-GeMM left operand — the memory holds ``A^T`` blocked as
+  ``[k2][m2][k1][m1]``, which the Transposer extension turns back into
+  ``[m1][k1]`` tiles on the fly;
+* GeMM right operand ``B[K, N]`` — blocked ``[k2][n2][k1][n1]``;
+* accumulator / output tiles ``[m2][n2][m1][n1]`` in int32;
+* convolution input — channel-blocked ``C/Ku · H · W · Ku`` (Fig. 3(d));
+* convolution weights — ``[fy][fx][c2][n2][c1][n1]`` so each reduction step
+  reads one contiguous ``Ku×Nu`` tile.
+
+Every ``pack_*`` function zero-pads the logical tensor up to the tile grid
+and returns the flat byte image plus enough shape information for the
+matching ``unpack_*`` function (used to read results back and to express the
+explicit data-manipulation pre-passes of feature-disabled configurations).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..utils.packing import ceil_div, pad_to_multiple, tile_to_bytes
+
+
+# ----------------------------------------------------------------------
+# GeMM operand layouts.
+# ----------------------------------------------------------------------
+def pack_gemm_a(a: np.ndarray, mu: int, ku: int) -> np.ndarray:
+    """Block-row-major layout of ``A[M, K]`` (int8): ``[m2][k2][m1][k1]``."""
+    a = np.asarray(a, dtype=np.int8)
+    if a.ndim != 2:
+        raise ValueError("A must be a 2-D matrix")
+    padded = pad_to_multiple(a, (mu, ku))
+    tiles_m, tiles_k = padded.shape[0] // mu, padded.shape[1] // ku
+    blocked = padded.reshape(tiles_m, mu, tiles_k, ku).transpose(0, 2, 1, 3)
+    return tile_to_bytes(blocked)
+
+
+def pack_gemm_a_transposed(a: np.ndarray, mu: int, ku: int) -> np.ndarray:
+    """Layout holding ``A^T`` blocked as ``[k2][m2][k1][m1]`` (int8).
+
+    ``a`` is still passed in its logical ``[M, K]`` orientation; this function
+    stores its transpose, which is what a framework would hand the
+    accelerator for attention-style ``Q·K^T`` operands.
+    """
+    a = np.asarray(a, dtype=np.int8)
+    if a.ndim != 2:
+        raise ValueError("A must be a 2-D matrix")
+    at = np.ascontiguousarray(a.T)
+    padded = pad_to_multiple(at, (ku, mu))
+    tiles_k, tiles_m = padded.shape[0] // ku, padded.shape[1] // mu
+    blocked = padded.reshape(tiles_k, ku, tiles_m, mu).transpose(0, 2, 1, 3)
+    return tile_to_bytes(blocked)
+
+
+def pack_gemm_b(b: np.ndarray, ku: int, nu: int) -> np.ndarray:
+    """Blocked layout of ``B[K, N]`` (int8): ``[k2][n2][k1][n1]``."""
+    b = np.asarray(b, dtype=np.int8)
+    if b.ndim != 2:
+        raise ValueError("B must be a 2-D matrix")
+    padded = pad_to_multiple(b, (ku, nu))
+    tiles_k, tiles_n = padded.shape[0] // ku, padded.shape[1] // nu
+    blocked = padded.reshape(tiles_k, ku, tiles_n, nu).transpose(0, 2, 1, 3)
+    return tile_to_bytes(blocked)
+
+
+def pack_acc_tiles(c: np.ndarray, mu: int, nu: int) -> np.ndarray:
+    """Blocked int32 accumulator layout ``[m2][n2][m1][n1]``."""
+    c = np.asarray(c, dtype=np.int32)
+    if c.ndim != 2:
+        raise ValueError("accumulator tensor must be a 2-D matrix")
+    padded = pad_to_multiple(c, (mu, nu))
+    tiles_m, tiles_n = padded.shape[0] // mu, padded.shape[1] // nu
+    blocked = padded.reshape(tiles_m, mu, tiles_n, nu).transpose(0, 2, 1, 3)
+    return tile_to_bytes(blocked)
+
+
+def unpack_acc_tiles(
+    data: np.ndarray, rows: int, cols: int, mu: int, nu: int
+) -> np.ndarray:
+    """Inverse of :func:`pack_acc_tiles`, cropped to ``rows × cols``."""
+    tiles_m, tiles_n = ceil_div(rows, mu), ceil_div(cols, nu)
+    payload = np.asarray(data, dtype=np.uint8).view(np.int32)
+    expected = tiles_m * tiles_n * mu * nu
+    if payload.size != expected:
+        raise ValueError(
+            f"expected {expected} int32 values, got {payload.size}"
+        )
+    blocked = payload.reshape(tiles_m, tiles_n, mu, nu).transpose(0, 2, 1, 3)
+    full = blocked.reshape(tiles_m * mu, tiles_n * nu)
+    return full[:rows, :cols].copy()
+
+
+def pack_int8_tiles(x: np.ndarray, mu: int, nu: int) -> np.ndarray:
+    """Blocked int8 layout ``[m2][n2][m1][n1]`` (quantized outputs)."""
+    x = np.asarray(x, dtype=np.int8)
+    padded = pad_to_multiple(x, (mu, nu))
+    tiles_m, tiles_n = padded.shape[0] // mu, padded.shape[1] // nu
+    blocked = padded.reshape(tiles_m, mu, tiles_n, nu).transpose(0, 2, 1, 3)
+    return tile_to_bytes(blocked)
+
+
+def unpack_int8_tiles(
+    data: np.ndarray, rows: int, cols: int, mu: int, nu: int
+) -> np.ndarray:
+    """Inverse of :func:`pack_int8_tiles`, cropped to ``rows × cols``."""
+    tiles_m, tiles_n = ceil_div(rows, mu), ceil_div(cols, nu)
+    payload = np.asarray(data, dtype=np.uint8).view(np.int8)
+    expected = tiles_m * tiles_n * mu * nu
+    if payload.size != expected:
+        raise ValueError(f"expected {expected} int8 values, got {payload.size}")
+    blocked = payload.reshape(tiles_m, tiles_n, mu, nu).transpose(0, 2, 1, 3)
+    full = blocked.reshape(tiles_m * mu, tiles_n * nu)
+    return full[:rows, :cols].copy()
+
+
+# ----------------------------------------------------------------------
+# Accumulator-initialisation (bias) layouts.
+# ----------------------------------------------------------------------
+def pack_bias_rows(bias: np.ndarray, nu: int) -> np.ndarray:
+    """Per-output-channel bias stored once per tile column: ``[n2][n1]`` int32.
+
+    This is the compact layout used when the Broadcaster extension is
+    enabled: one ``nu``-wide int32 row per output tile column, duplicated
+    across PE rows on the fly.
+    """
+    bias = np.asarray(bias, dtype=np.int32).reshape(-1)
+    padded = pad_to_multiple(bias, (nu,))
+    return tile_to_bytes(padded.reshape(-1, nu))
+
+
+def pack_bias_full(bias: np.ndarray, rows: int, cols: int, mu: int, nu: int) -> np.ndarray:
+    """Bias materialised as full ``Mu×Nu`` init tiles (Broadcaster disabled).
+
+    Every output tile stores the bias row replicated across its ``mu`` rows —
+    the redundant-memory situation the Broadcaster avoids.
+    """
+    bias = np.asarray(bias, dtype=np.int32).reshape(-1)
+    if bias.size < cols:
+        raise ValueError(f"bias has {bias.size} entries, need at least {cols}")
+    full = np.tile(bias[:cols], (rows, 1))
+    return pack_acc_tiles(full, mu, nu)
+
+
+# ----------------------------------------------------------------------
+# Convolution layouts.
+# ----------------------------------------------------------------------
+def pack_conv_input(feature_map: np.ndarray, ku: int) -> Tuple[np.ndarray, Tuple[int, int, int]]:
+    """Channel-blocked input layout ``[c2][h][w][c1]`` (int8).
+
+    Returns the byte image plus the padded ``(height, width, channels)`` so
+    the caller can compute AGU strides.  ``feature_map`` has shape
+    ``[H, W, C]`` and is expected to already include any spatial zero padding
+    the convolution requires.
+    """
+    feature_map = np.asarray(feature_map, dtype=np.int8)
+    if feature_map.ndim != 3:
+        raise ValueError("convolution input must have shape [H, W, C]")
+    padded = pad_to_multiple(feature_map, (1, 1, ku))
+    height, width, channels = padded.shape
+    tiles_c = channels // ku
+    blocked = padded.reshape(height, width, tiles_c, ku).transpose(2, 0, 1, 3)
+    return tile_to_bytes(blocked), (height, width, channels)
+
+
+def pack_conv_weights(weights: np.ndarray, ku: int, nu: int) -> np.ndarray:
+    """Blocked weight layout ``[fy][fx][c2][n2][c1][n1]`` (int8).
+
+    ``weights`` has shape ``[FH, FW, C, K]``; each reduction step of the
+    implicit GeMM reads one contiguous ``ku × nu`` tile.
+    """
+    weights = np.asarray(weights, dtype=np.int8)
+    if weights.ndim != 4:
+        raise ValueError("convolution weights must have shape [FH, FW, C, K]")
+    padded = pad_to_multiple(weights, (1, 1, ku, nu))
+    kernel_h, kernel_w, channels, out_channels = padded.shape
+    tiles_c = channels // ku
+    tiles_n = out_channels // nu
+    blocked = padded.reshape(
+        kernel_h, kernel_w, tiles_c, ku, tiles_n, nu
+    ).transpose(0, 1, 2, 4, 3, 5)
+    return tile_to_bytes(blocked)
+
+
+def unpack_conv_output(
+    data: np.ndarray,
+    out_height: int,
+    out_width: int,
+    out_channels: int,
+    mu: int,
+    nu: int,
+) -> np.ndarray:
+    """Recover ``O[y, x, k]`` (int32) from the blocked output layout.
+
+    The output is written as ``[y][x2][n2][m1][n1]`` tiles where ``m1``
+    indexes ``mu`` consecutive output columns ``x`` of row ``y``.
+    """
+    tiles_x = ceil_div(out_width, mu)
+    tiles_n = ceil_div(out_channels, nu)
+    payload = np.asarray(data, dtype=np.uint8).view(np.int32)
+    expected = out_height * tiles_x * tiles_n * mu * nu
+    if payload.size != expected:
+        raise ValueError(f"expected {expected} int32 values, got {payload.size}")
+    blocked = payload.reshape(out_height, tiles_x, tiles_n, mu, nu)
+    # -> [y][x2][m1][n2][n1] -> [y, x, k]
+    full = blocked.transpose(0, 1, 3, 2, 4).reshape(
+        out_height, tiles_x * mu, tiles_n * nu
+    )
+    return full[:, :out_width, :out_channels].copy()
+
+
+def unpack_conv_output_int8(
+    data: np.ndarray,
+    out_height: int,
+    out_width: int,
+    out_channels: int,
+    mu: int,
+    nu: int,
+) -> np.ndarray:
+    """Recover the quantized ``O[y, x, k]`` (int8) from the blocked layout."""
+    tiles_x = ceil_div(out_width, mu)
+    tiles_n = ceil_div(out_channels, nu)
+    payload = np.asarray(data, dtype=np.uint8).view(np.int8)
+    expected = out_height * tiles_x * tiles_n * mu * nu
+    if payload.size != expected:
+        raise ValueError(f"expected {expected} int8 values, got {payload.size}")
+    blocked = payload.reshape(out_height, tiles_x, tiles_n, mu, nu)
+    full = blocked.transpose(0, 1, 3, 2, 4).reshape(
+        out_height, tiles_x * mu, tiles_n * nu
+    )
+    return full[:, :out_width, :out_channels].copy()
+
+
+# ----------------------------------------------------------------------
+# Size helpers (used by the allocator and the pre-pass cost model).
+# ----------------------------------------------------------------------
+def gemm_a_bytes(m: int, k: int, mu: int, ku: int) -> int:
+    return ceil_div(m, mu) * mu * ceil_div(k, ku) * ku
+
+
+def gemm_b_bytes(k: int, n: int, ku: int, nu: int) -> int:
+    return ceil_div(k, ku) * ku * ceil_div(n, nu) * nu
+
+
+def acc_tile_bytes(m: int, n: int, mu: int, nu: int) -> int:
+    return ceil_div(m, mu) * mu * ceil_div(n, nu) * nu * 4
+
+
+def int8_tile_bytes(m: int, n: int, mu: int, nu: int) -> int:
+    return ceil_div(m, mu) * mu * ceil_div(n, nu) * nu
+
+
+def bias_rows_bytes(n: int, nu: int) -> int:
+    return ceil_div(n, nu) * nu * 4
+
+
+def conv_input_bytes(height: int, width: int, channels: int, ku: int) -> int:
+    return height * width * ceil_div(channels, ku) * ku
+
+
+def conv_weight_bytes(
+    kernel_h: int, kernel_w: int, channels: int, out_channels: int, ku: int, nu: int
+) -> int:
+    return (
+        kernel_h
+        * kernel_w
+        * ceil_div(channels, ku)
+        * ku
+        * ceil_div(out_channels, nu)
+        * nu
+    )

@@ -1,0 +1,635 @@
+"""Workload-to-system mapping: the "customized compiler" of the paper (§IV-A).
+
+``compile_workload`` lowers a workload specification onto a
+:class:`~repro.system.design.AcceleratorSystemDesign`:
+
+1. deterministic int8 operand data and the numpy oracle result are produced;
+2. operands are packed into their blocked data layouts and placed in the
+   scratchpad by the :class:`~repro.compiler.allocator.MemoryAllocator`
+   (choosing per-operand bank groups when addressing-mode switching is
+   enabled);
+3. the runtime configuration of every DataMaestro port — AGU bounds/strides,
+   spatial strides, addressing mode, extension enables — is derived from the
+   dataflow and the data layout, and also lowered to CSR writes;
+4. any explicit data-manipulation pre-pass a disabled feature requires
+   (software transpose, software im2col) is recorded with its cost;
+5. the GeMM-core job, optional quantizer configuration, result read-back
+   locations and expected outputs complete the
+   :class:`~repro.compiler.programs.KernelProgram`.
+
+The mapping implemented here is the output-stationary dataflow of Fig. 3:
+``for m2 / for n2 / for k2`` with an ``Mu × Nu × Ku`` spatial tile, and the
+6-D implicit-im2col walk for convolutions.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..accelerators.gemm_core import GemmJob
+from ..accelerators.quantizer import QuantizationConfig, rescale_tile
+from ..core.csr import encode_runtime_config
+from ..core.params import FeatureSet, StreamerRuntimeConfig
+from ..memory.subsystem import MemorySubsystem
+from ..utils.packing import ceil_div
+from ..workloads.spec import ConvWorkload, GemmWorkload, Workload
+from . import layout
+from .allocator import MemoryAllocator
+from .programs import KernelProgram, PrePass, ReadbackSpec, TensorLoad
+from .reference import conv2d_reference, gemm_reference
+
+# The system design lives in repro.system but only as plain data; importing
+# it here does not create a dependency cycle (repro.system.system imports
+# compiler.programs, not this module).
+from ..system.design import AcceleratorSystemDesign
+
+
+# ----------------------------------------------------------------------
+# Deterministic operand generation.
+# ----------------------------------------------------------------------
+def _workload_rng(workload: Workload, seed: int) -> np.random.Generator:
+    digest = zlib.crc32(workload.name.encode("utf-8"))
+    return np.random.default_rng((digest ^ (seed * 0x9E3779B1)) & 0xFFFFFFFF)
+
+
+def _random_int8(rng: np.random.Generator, shape: Tuple[int, ...]) -> np.ndarray:
+    return rng.integers(-64, 64, size=shape, dtype=np.int64).astype(np.int8)
+
+
+def _random_bias(rng: np.random.Generator, size: int) -> np.ndarray:
+    return rng.integers(-512, 512, size=size, dtype=np.int64).astype(np.int32)
+
+
+def _quantization_for(expected: np.ndarray) -> QuantizationConfig:
+    """Pick a shift so the rescaled output spans (but fits) the int8 range."""
+    max_abs = int(np.max(np.abs(expected))) if expected.size else 0
+    shift = 0
+    while (max_abs >> shift) > 127:
+        shift += 1
+    return QuantizationConfig(multiplier=1, shift=shift, zero_point=0)
+
+
+# ----------------------------------------------------------------------
+# Shared helpers.
+# ----------------------------------------------------------------------
+def _acc_spatial_strides(system: AcceleratorSystemDesign, port: str) -> Tuple[int, ...]:
+    """Spatial strides giving channel ``ch`` the byte range ``[8ch, 8ch+8)``."""
+    design = system.streamer(port)
+    width = design.bank_width_bytes
+    strides: List[int] = []
+    running = width
+    for bound in design.spatial_bounds:
+        strides.append(running)
+        running *= bound
+    return tuple(strides)
+
+
+def _encode_all(
+    system: AcceleratorSystemDesign,
+    configs: Dict[str, StreamerRuntimeConfig],
+) -> Dict[str, List[Tuple[int, int]]]:
+    options = list(system.group_size_options())
+    return {
+        port: encode_runtime_config(system.streamer(port), runtime, options)
+        for port, runtime in configs.items()
+    }
+
+
+def _prepass_cycles(word_accesses: int, system: AcceleratorSystemDesign) -> int:
+    """Cycles of an explicit DMA pre-pass moving ``word_accesses`` words.
+
+    The DMA is modelled as sustaining ``dma_words_per_cycle`` word transfers
+    per cycle, with read and write of the same word counted as one transfer
+    (the DMA pipeline overlaps them).
+    """
+    return ceil_div(word_accesses, 2 * system.dma_words_per_cycle)
+
+
+# ----------------------------------------------------------------------
+# GeMM / transposed-GeMM compilation.
+# ----------------------------------------------------------------------
+def compile_gemm(
+    workload: GemmWorkload,
+    system: AcceleratorSystemDesign,
+    features: FeatureSet,
+    seed: int = 0,
+) -> KernelProgram:
+    """Lower a (transposed-)GeMM workload onto the evaluation system."""
+    mu, nu, ku = system.gemm_mu, system.gemm_nu, system.gemm_ku
+    word = system.memory.bank_width_bytes
+    tiles_m, tiles_n, tiles_k = workload.tile_counts(mu, nu, ku)
+    tile_a = mu * ku
+    tile_b = ku * nu
+    tile_acc = mu * nu * 4
+    tile_e = mu * nu
+
+    rng = _workload_rng(workload, seed)
+    a = _random_int8(rng, (workload.m, workload.k))
+    b = _random_int8(rng, (workload.k, workload.n))
+    bias = _random_bias(rng, workload.n) if workload.with_bias else None
+    expected_d = gemm_reference(a, b, bias)
+
+    use_transposer = workload.transposed_a and features.transposer
+    transpose_prepass = workload.transposed_a and not features.transposer
+    use_broadcaster = workload.with_bias and features.broadcaster
+
+    # ------------------------------------------------------------------
+    # Operand byte images and sizes.
+    # ------------------------------------------------------------------
+    if use_transposer:
+        a_image = layout.pack_gemm_a_transposed(a, mu, ku)
+    else:
+        a_image = layout.pack_gemm_a(a, mu, ku)
+    b_image = layout.pack_gemm_b(b, ku, nu)
+    sizes: Dict[str, int] = {}
+    if workload.with_bias:
+        if use_broadcaster:
+            c_image = layout.pack_bias_rows(bias, nu)
+        else:
+            c_image = layout.pack_bias_full(
+                bias, tiles_m * mu, workload.n, mu, nu
+            )
+        sizes["C"] = int(c_image.size)
+    else:
+        c_image = None
+    sizes["A"] = int(a_image.size)
+    sizes["B"] = int(b_image.size)
+    if workload.quantize:
+        sizes["E"] = tiles_m * tiles_n * tile_e
+    else:
+        sizes["D"] = tiles_m * tiles_n * tile_acc
+
+    allocator = MemoryAllocator(system.memory, features.addressing_mode_switching)
+    # Allocate the largest regions first so multi-group operands always find
+    # a fresh run of bank groups.
+    plan = allocator.plan(
+        {name: sizes[name] for name in sorted(sizes, key=sizes.get, reverse=True)}
+    )
+
+    # ------------------------------------------------------------------
+    # Streamer runtime configurations.
+    # ------------------------------------------------------------------
+    configs: Dict[str, StreamerRuntimeConfig] = {}
+
+    if use_transposer:
+        a_strides = (tiles_m * tile_a, 0, tile_a)
+    else:
+        a_strides = (tile_a, 0, tiles_k * tile_a)
+    a_ext_enables = (True,) if use_transposer else (False,)
+    a_ext_params = (
+        (
+            (
+                "transposer",
+                (("cols", mu), ("element_bytes", 1), ("rows", ku)),
+            ),
+        )
+        if use_transposer
+        else ()
+    )
+    configs["A"] = StreamerRuntimeConfig(
+        base_address=plan["A"].base_address,
+        temporal_bounds=(tiles_k, tiles_n, tiles_m),
+        temporal_strides=a_strides,
+        spatial_strides=(ku,),
+        bank_group_size=plan["A"].group_size,
+        extension_enables=a_ext_enables,
+        extension_params=a_ext_params,
+        label=f"{workload.name}.A",
+    )
+
+    configs["B"] = StreamerRuntimeConfig(
+        base_address=plan["B"].base_address,
+        temporal_bounds=(tiles_k, tiles_n, tiles_m),
+        temporal_strides=(tiles_n * tile_b, tile_b, 0),
+        spatial_strides=(nu,),
+        bank_group_size=plan["B"].group_size,
+        label=f"{workload.name}.B",
+    )
+
+    if workload.with_bias:
+        c_spatial = _acc_spatial_strides(system, "C")
+        if use_broadcaster:
+            c_bounds = (tiles_n, tiles_m)
+            c_strides = (nu * 4, 0)
+            active = (nu * 4) // word
+            c_ext_enables = (True,)
+            c_ext_params = (("broadcaster", (("factor", mu),)),)
+        else:
+            c_bounds = (tiles_n, tiles_m)
+            c_strides = (tile_acc, tiles_n * tile_acc)
+            active = None
+            c_ext_enables = (False,)
+            c_ext_params = ()
+        configs["C"] = StreamerRuntimeConfig(
+            base_address=plan["C"].base_address,
+            temporal_bounds=c_bounds,
+            temporal_strides=c_strides,
+            spatial_strides=c_spatial,
+            bank_group_size=plan["C"].group_size,
+            active_channels=active,
+            extension_enables=c_ext_enables,
+            extension_params=c_ext_params,
+            label=f"{workload.name}.C",
+        )
+
+    if workload.quantize:
+        configs["E"] = StreamerRuntimeConfig(
+            base_address=plan["E"].base_address,
+            temporal_bounds=(tiles_n, tiles_m),
+            temporal_strides=(tile_e, tiles_n * tile_e),
+            spatial_strides=(word,),
+            bank_group_size=plan["E"].group_size,
+            label=f"{workload.name}.E",
+        )
+    else:
+        configs["D"] = StreamerRuntimeConfig(
+            base_address=plan["D"].base_address,
+            temporal_bounds=(tiles_n, tiles_m),
+            temporal_strides=(tile_acc, tiles_n * tile_acc),
+            spatial_strides=_acc_spatial_strides(system, "D"),
+            bank_group_size=plan["D"].group_size,
+            label=f"{workload.name}.D",
+        )
+
+    # ------------------------------------------------------------------
+    # Tensor loads, pre-passes, readbacks, oracle.
+    # ------------------------------------------------------------------
+    loads = [
+        TensorLoad("A", plan["A"].base_address, a_image, plan["A"].group_size),
+        TensorLoad("B", plan["B"].base_address, b_image, plan["B"].group_size),
+    ]
+    if c_image is not None:
+        loads.append(
+            TensorLoad("C", plan["C"].base_address, c_image, plan["C"].group_size)
+        )
+
+    prepasses: List[PrePass] = []
+    if transpose_prepass:
+        a_words = int(a_image.size) // word
+        prepasses.append(
+            PrePass(
+                name="software_transpose_A",
+                word_reads=a_words,
+                word_writes=a_words,
+                cycles=_prepass_cycles(2 * a_words, system),
+            )
+        )
+
+    expected_outputs: Dict[str, np.ndarray] = {}
+    readbacks: Dict[str, ReadbackSpec] = {}
+    quant_config: Optional[QuantizationConfig] = None
+    if workload.quantize:
+        quant_config = _quantization_for(expected_d)
+        expected_outputs["E"] = rescale_tile(expected_d, quant_config)
+        readbacks["E"] = ReadbackSpec(
+            "E", plan["E"].base_address, sizes["E"], plan["E"].group_size
+        )
+    else:
+        expected_outputs["D"] = expected_d
+        readbacks["D"] = ReadbackSpec(
+            "D", plan["D"].base_address, sizes["D"], plan["D"].group_size
+        )
+
+    job = GemmJob(
+        tiles_m=tiles_m,
+        tiles_n=tiles_n,
+        tiles_k=tiles_k,
+        use_init_stream=workload.with_bias,
+    )
+    metadata = {
+        "kind": "gemm",
+        "rows": workload.m,
+        "cols": workload.n,
+        "mu": mu,
+        "nu": nu,
+        "transposed_a": workload.transposed_a,
+        "use_transposer": use_transposer,
+        "use_broadcaster": use_broadcaster,
+        "allocation": {name: plan[name].base_address for name in plan.regions},
+    }
+    return KernelProgram(
+        workload=workload,
+        features=features,
+        job=job,
+        streamer_configs=configs,
+        csr_writes=_encode_all(system, configs),
+        tensor_loads=loads,
+        prepasses=prepasses,
+        quant_config=quant_config,
+        readbacks=readbacks,
+        expected_outputs=expected_outputs,
+        metadata=metadata,
+    )
+
+
+# ----------------------------------------------------------------------
+# Convolution compilation (implicit im2col dataflow).
+# ----------------------------------------------------------------------
+def compile_conv(
+    workload: ConvWorkload,
+    system: AcceleratorSystemDesign,
+    features: FeatureSet,
+    seed: int = 0,
+) -> KernelProgram:
+    """Lower a 2-D convolution onto the evaluation system."""
+    mu, nu, ku = system.gemm_mu, system.gemm_nu, system.gemm_ku
+    word = system.memory.bank_width_bytes
+    tile_b = ku * nu
+    tile_acc = mu * nu * 4
+    tile_e = mu * nu
+
+    out_h, out_w = workload.out_height, workload.out_width
+    tiles_x = ceil_div(out_w, mu)
+    tiles_n = ceil_div(workload.out_channels, nu)
+    tiles_c = ceil_div(workload.in_channels, ku)
+    tiles_k = workload.kernel_h * workload.kernel_w * tiles_c
+    tiles_m = out_h * tiles_x
+
+    rng = _workload_rng(workload, seed)
+    feature_map = _random_int8(
+        rng, (workload.in_height, workload.in_width, workload.in_channels)
+    )
+    weights = _random_int8(
+        rng,
+        (
+            workload.kernel_h,
+            workload.kernel_w,
+            workload.in_channels,
+            workload.out_channels,
+        ),
+    )
+    bias = _random_bias(rng, workload.out_channels) if workload.with_bias else None
+    expected_o = conv2d_reference(
+        feature_map, weights, bias, stride=workload.stride, padding=workload.padding
+    )
+
+    use_broadcaster = workload.with_bias and features.broadcaster
+
+    # ------------------------------------------------------------------
+    # Input feature map, spatially padded and widened to cover the padded
+    # output tile grid (extra columns compute throw-away outputs).
+    # ------------------------------------------------------------------
+    padded_h = workload.in_height + 2 * workload.padding
+    logical_w = workload.in_width + 2 * workload.padding
+    needed_w = (tiles_x * mu - 1) * workload.stride + workload.kernel_w
+    stored_w = max(logical_w, needed_w)
+    staged = np.zeros((padded_h, stored_w, workload.in_channels), dtype=np.int8)
+    staged[
+        workload.padding : workload.padding + workload.in_height,
+        workload.padding : workload.padding + workload.in_width,
+        :,
+    ] = feature_map
+    a_image, (in_h, in_w, in_c) = layout.pack_conv_input(staged, ku)
+    b_image = layout.pack_conv_weights(weights, ku, nu)
+
+    sizes: Dict[str, int] = {"A": int(a_image.size), "B": int(b_image.size)}
+    if workload.with_bias:
+        if use_broadcaster:
+            c_image = layout.pack_bias_rows(bias, nu)
+        else:
+            c_image = layout.pack_bias_full(
+                bias, tiles_m * mu, workload.out_channels, mu, nu
+            )
+        sizes["C"] = int(c_image.size)
+    else:
+        c_image = None
+    if workload.quantize:
+        sizes["E"] = tiles_m * tiles_n * tile_e
+    else:
+        sizes["D"] = tiles_m * tiles_n * tile_acc
+
+    allocator = MemoryAllocator(system.memory, features.addressing_mode_switching)
+    plan = allocator.plan(
+        {name: sizes[name] for name in sorted(sizes, key=sizes.get, reverse=True)}
+    )
+
+    # ------------------------------------------------------------------
+    # Streamer runtime configurations.
+    # ------------------------------------------------------------------
+    stride = workload.stride
+    configs: Dict[str, StreamerRuntimeConfig] = {}
+
+    # Input walk: (c2, fx, fy, n2, x2, y), innermost first.
+    configs["A"] = StreamerRuntimeConfig(
+        base_address=plan["A"].base_address,
+        temporal_bounds=(
+            tiles_c,
+            workload.kernel_w,
+            workload.kernel_h,
+            tiles_n,
+            tiles_x,
+            out_h,
+        ),
+        temporal_strides=(
+            in_h * in_w * ku,
+            ku,
+            in_w * ku,
+            0,
+            mu * stride * ku,
+            in_w * stride * ku,
+        ),
+        spatial_strides=(stride * ku,),
+        bank_group_size=plan["A"].group_size,
+        extension_enables=(False,),
+        label=f"{workload.name}.A",
+    )
+
+    # Weight walk, matching the same reduction order.
+    configs["B"] = StreamerRuntimeConfig(
+        base_address=plan["B"].base_address,
+        temporal_bounds=(
+            tiles_c,
+            workload.kernel_w,
+            workload.kernel_h,
+            tiles_n,
+            tiles_x,
+            out_h,
+        ),
+        temporal_strides=(
+            tiles_n * tile_b,
+            tiles_c * tiles_n * tile_b,
+            workload.kernel_w * tiles_c * tiles_n * tile_b,
+            tile_b,
+            0,
+            0,
+        ),
+        spatial_strides=(nu,),
+        bank_group_size=plan["B"].group_size,
+        label=f"{workload.name}.B",
+    )
+
+    if workload.with_bias:
+        c_spatial = _acc_spatial_strides(system, "C")
+        if use_broadcaster:
+            c_bounds = (tiles_n, tiles_x, out_h)
+            c_strides = (nu * 4, 0, 0)
+            active = (nu * 4) // word
+            c_ext_enables = (True,)
+            c_ext_params = (("broadcaster", (("factor", mu),)),)
+        else:
+            c_bounds = (tiles_n, tiles_x, out_h)
+            c_strides = (tile_acc, tiles_n * tile_acc, tiles_x * tiles_n * tile_acc)
+            active = None
+            c_ext_enables = (False,)
+            c_ext_params = ()
+        configs["C"] = StreamerRuntimeConfig(
+            base_address=plan["C"].base_address,
+            temporal_bounds=c_bounds,
+            temporal_strides=c_strides,
+            spatial_strides=c_spatial,
+            bank_group_size=plan["C"].group_size,
+            active_channels=active,
+            extension_enables=c_ext_enables,
+            extension_params=c_ext_params,
+            label=f"{workload.name}.C",
+        )
+
+    if workload.quantize:
+        configs["E"] = StreamerRuntimeConfig(
+            base_address=plan["E"].base_address,
+            temporal_bounds=(tiles_n, tiles_x, out_h),
+            temporal_strides=(tile_e, tiles_n * tile_e, tiles_x * tiles_n * tile_e),
+            spatial_strides=(word,),
+            bank_group_size=plan["E"].group_size,
+            label=f"{workload.name}.E",
+        )
+    else:
+        configs["D"] = StreamerRuntimeConfig(
+            base_address=plan["D"].base_address,
+            temporal_bounds=(tiles_n, tiles_x, out_h),
+            temporal_strides=(
+                tile_acc,
+                tiles_n * tile_acc,
+                tiles_x * tiles_n * tile_acc,
+            ),
+            spatial_strides=_acc_spatial_strides(system, "D"),
+            bank_group_size=plan["D"].group_size,
+            label=f"{workload.name}.D",
+        )
+
+    # ------------------------------------------------------------------
+    # Tensor loads, pre-passes, readbacks, oracle.
+    # ------------------------------------------------------------------
+    loads = [
+        TensorLoad("A", plan["A"].base_address, a_image, plan["A"].group_size),
+        TensorLoad("B", plan["B"].base_address, b_image, plan["B"].group_size),
+    ]
+    if c_image is not None:
+        loads.append(
+            TensorLoad("C", plan["C"].base_address, c_image, plan["C"].group_size)
+        )
+
+    prepasses: List[PrePass] = []
+    needs_explicit_im2col = not features.implicit_im2col and not (
+        workload.is_pointwise and workload.stride == 1
+    )
+    if needs_explicit_im2col:
+        im2col_words = (tiles_m * mu) * (tiles_k * ku) // word
+        prepasses.append(
+            PrePass(
+                name="software_im2col",
+                word_reads=im2col_words,
+                word_writes=im2col_words,
+                cycles=_prepass_cycles(2 * im2col_words, system),
+            )
+        )
+
+    expected_outputs: Dict[str, np.ndarray] = {}
+    readbacks: Dict[str, ReadbackSpec] = {}
+    quant_config: Optional[QuantizationConfig] = None
+    if workload.quantize:
+        quant_config = _quantization_for(expected_o)
+        expected_outputs["E"] = rescale_tile(
+            expected_o.reshape(-1, workload.out_channels), quant_config
+        ).reshape(expected_o.shape)
+        readbacks["E"] = ReadbackSpec(
+            "E", plan["E"].base_address, sizes["E"], plan["E"].group_size
+        )
+    else:
+        expected_outputs["D"] = expected_o
+        readbacks["D"] = ReadbackSpec(
+            "D", plan["D"].base_address, sizes["D"], plan["D"].group_size
+        )
+
+    job = GemmJob(
+        tiles_m=tiles_m,
+        tiles_n=tiles_n,
+        tiles_k=tiles_k,
+        use_init_stream=workload.with_bias,
+    )
+    metadata = {
+        "kind": "conv",
+        "out_height": out_h,
+        "out_width": out_w,
+        "out_channels": workload.out_channels,
+        "mu": mu,
+        "nu": nu,
+        "use_broadcaster": use_broadcaster,
+        "explicit_im2col": needs_explicit_im2col,
+        "allocation": {name: plan[name].base_address for name in plan.regions},
+    }
+    return KernelProgram(
+        workload=workload,
+        features=features,
+        job=job,
+        streamer_configs=configs,
+        csr_writes=_encode_all(system, configs),
+        tensor_loads=loads,
+        prepasses=prepasses,
+        quant_config=quant_config,
+        readbacks=readbacks,
+        expected_outputs=expected_outputs,
+        metadata=metadata,
+    )
+
+
+# ----------------------------------------------------------------------
+# Dispatch + result extraction.
+# ----------------------------------------------------------------------
+def compile_workload(
+    workload: Workload,
+    system: AcceleratorSystemDesign,
+    features: Optional[FeatureSet] = None,
+    seed: int = 0,
+) -> KernelProgram:
+    """Lower any supported workload onto ``system``."""
+    features = features or FeatureSet.all_enabled()
+    if isinstance(workload, GemmWorkload):
+        return compile_gemm(workload, system, features, seed)
+    if isinstance(workload, ConvWorkload):
+        return compile_conv(workload, system, features, seed)
+    raise TypeError(f"unsupported workload type {type(workload)!r}")
+
+
+def extract_outputs(
+    program: KernelProgram, memory: MemorySubsystem
+) -> Dict[str, np.ndarray]:
+    """Read back and unpack the program's outputs from the scratchpad."""
+    outputs: Dict[str, np.ndarray] = {}
+    meta = program.metadata
+    for name, readback in program.readbacks.items():
+        raw = memory.scratchpad.backdoor_read(
+            readback.base_address, readback.size_bytes, readback.group_size
+        )
+        if meta.get("kind") == "gemm":
+            rows, cols = int(meta["rows"]), int(meta["cols"])
+            mu, nu = int(meta["mu"]), int(meta["nu"])
+            if name == "D":
+                outputs[name] = layout.unpack_acc_tiles(raw, rows, cols, mu, nu)
+            else:
+                outputs[name] = layout.unpack_int8_tiles(raw, rows, cols, mu, nu)
+        else:
+            out_h = int(meta["out_height"])
+            out_w = int(meta["out_width"])
+            out_c = int(meta["out_channels"])
+            mu, nu = int(meta["mu"]), int(meta["nu"])
+            if name == "D":
+                outputs[name] = layout.unpack_conv_output(raw, out_h, out_w, out_c, mu, nu)
+            else:
+                outputs[name] = layout.unpack_conv_output_int8(
+                    raw, out_h, out_w, out_c, mu, nu
+                )
+    return outputs

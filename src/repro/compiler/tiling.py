@@ -1,0 +1,254 @@
+"""Layer tiling: split large DNN layers into scratchpad-resident kernels.
+
+The evaluation system's scratchpad holds 128 KiB, so real network layers
+(Table III) are executed as a sequence of tiles the host DMA double-buffers —
+the paper's compiler performs this tiling before emitting CSR programs.  This
+module provides that front-end step for the reproduction:
+
+* :func:`tile_gemm` splits a GeMM along M/N (and optionally K, producing
+  partial-sum accumulation passes) so every tile's operands fit a byte
+  budget;
+* :func:`tile_convolution` splits a convolution along output rows and output
+  channels, keeping whole kernel windows per tile (halo rows are re-fetched);
+* :func:`tile_workload` dispatches on the workload type and returns a
+  :class:`TilingPlan` whose tiles are ordinary workload objects that can be
+  compiled and simulated individually.
+
+The tiling preserves the total number of ideal compute cycles (up to the
+padding the PE-array tiling already implies), which the tests check, and the
+network-level estimator remains consistent with simulating each tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..utils.packing import ceil_div
+from ..workloads.spec import ConvWorkload, GemmWorkload, Workload
+
+#: Default per-kernel operand budget: stay under the 128 KiB scratchpad with
+#: headroom for the fully-materialised operands of feature-off configurations.
+DEFAULT_TILE_BUDGET_BYTES = 96 * 1024
+
+
+class TilingError(ValueError):
+    """Raised when a layer cannot be tiled under the given constraints."""
+
+
+@dataclass(frozen=True)
+class TileSlice:
+    """Where one tile's results land inside the full layer output."""
+
+    workload: Workload
+    row_offset: int
+    col_offset: int
+    accumulation_pass: int = 0
+
+
+@dataclass
+class TilingPlan:
+    """A layer split into scratchpad-resident tiles."""
+
+    layer: Workload
+    tiles: List[TileSlice] = field(default_factory=list)
+    budget_bytes: int = DEFAULT_TILE_BUDGET_BYTES
+
+    @property
+    def num_tiles(self) -> int:
+        return len(self.tiles)
+
+    @property
+    def is_single_tile(self) -> bool:
+        return len(self.tiles) == 1
+
+    def workloads(self) -> List[Workload]:
+        return [tile.workload for tile in self.tiles]
+
+    def total_ideal_cycles(self, mu: int, nu: int, ku: int) -> int:
+        return sum(
+            tile.workload.ideal_compute_cycles(mu, nu, ku) for tile in self.tiles
+        )
+
+    def requires_accumulation(self) -> bool:
+        """True when the reduction dimension was split (partial-sum passes)."""
+        return any(tile.accumulation_pass > 0 for tile in self.tiles)
+
+
+# ----------------------------------------------------------------------
+# Footprint estimates (mirror the compiler's worst-case operand sizes).
+# ----------------------------------------------------------------------
+def gemm_tile_footprint(m: int, n: int, k: int) -> int:
+    """Worst-case scratchpad bytes of one GeMM tile (Broadcaster disabled)."""
+    return m * k + k * n + 8 * m * n + 4 * n
+
+
+def conv_tile_footprint(workload: ConvWorkload) -> int:
+    """Worst-case scratchpad bytes of one convolution tile."""
+    tiles_m = workload.out_height * ceil_div(workload.out_width, 8)
+    tiles_n = ceil_div(workload.out_channels, 8)
+    weights = (
+        workload.kernel_h
+        * workload.kernel_w
+        * max(workload.in_channels, 8)
+        * max(workload.out_channels, 8)
+    )
+    input_bytes = (
+        (workload.in_height + 2 * workload.padding)
+        * (workload.in_width + 2 * workload.padding + 8)
+        * max(workload.in_channels, 8)
+    )
+    return input_bytes + weights + 2 * tiles_m * tiles_n * 256
+
+
+# ----------------------------------------------------------------------
+# GeMM tiling.
+# ----------------------------------------------------------------------
+def _split(extent: int, parts: int) -> List[int]:
+    """Split ``extent`` into ``parts`` chunks of near-equal multiple-of-8 size."""
+    base = ceil_div(ceil_div(extent, parts), 8) * 8
+    sizes = []
+    remaining = extent
+    while remaining > 0:
+        chunk = min(base, remaining)
+        sizes.append(chunk)
+        remaining -= chunk
+    return sizes
+
+
+def tile_gemm(
+    workload: GemmWorkload,
+    budget_bytes: int = DEFAULT_TILE_BUDGET_BYTES,
+    allow_k_split: bool = True,
+) -> TilingPlan:
+    """Split a GeMM so every tile's operands fit ``budget_bytes``."""
+    plan = TilingPlan(layer=workload, budget_bytes=budget_bytes)
+    if gemm_tile_footprint(workload.m, workload.n, workload.k) <= budget_bytes:
+        plan.tiles.append(TileSlice(workload=workload, row_offset=0, col_offset=0))
+        return plan
+
+    # Grow the number of splits along M and N (keeping tiles roughly square)
+    # until the footprint fits; split K only if still necessary.
+    for total_splits in range(2, 4096):
+        parts_m = min(total_splits, ceil_div(workload.m, 8))
+        parts_n = min(total_splits, ceil_div(workload.n, 8))
+        m_sizes = _split(workload.m, parts_m)
+        n_sizes = _split(workload.n, parts_n)
+        k_sizes = [workload.k]
+        if gemm_tile_footprint(max(m_sizes), max(n_sizes), workload.k) > budget_bytes:
+            if not allow_k_split:
+                continue
+            for parts_k in range(2, ceil_div(workload.k, 8) + 1):
+                k_sizes = _split(workload.k, parts_k)
+                if (
+                    gemm_tile_footprint(max(m_sizes), max(n_sizes), max(k_sizes))
+                    <= budget_bytes
+                ):
+                    break
+            else:
+                continue
+        if gemm_tile_footprint(max(m_sizes), max(n_sizes), max(k_sizes)) > budget_bytes:
+            continue
+
+        row = 0
+        for m_size in m_sizes:
+            col = 0
+            for n_size in n_sizes:
+                for k_index, k_size in enumerate(k_sizes):
+                    tile = workload.scaled(
+                        name=f"{workload.name}__tile_m{row}_n{col}_k{k_index}",
+                        m=m_size,
+                        n=n_size,
+                        k=k_size,
+                        # Only the first reduction pass consumes the bias; the
+                        # rest accumulate onto partial sums.
+                        with_bias=workload.with_bias and k_index == 0,
+                        # Only the last pass may requantize.
+                        quantize=workload.quantize and k_index == len(k_sizes) - 1,
+                    )
+                    plan.tiles.append(
+                        TileSlice(
+                            workload=tile,
+                            row_offset=row,
+                            col_offset=col,
+                            accumulation_pass=k_index,
+                        )
+                    )
+                col += n_size
+            row += m_size
+        return plan
+    raise TilingError(
+        f"{workload.name}: cannot tile M={workload.m} N={workload.n} K={workload.k} "
+        f"under {budget_bytes} bytes"
+    )
+
+
+# ----------------------------------------------------------------------
+# Convolution tiling.
+# ----------------------------------------------------------------------
+def tile_convolution(
+    workload: ConvWorkload,
+    budget_bytes: int = DEFAULT_TILE_BUDGET_BYTES,
+) -> TilingPlan:
+    """Split a convolution along output rows and output channels."""
+    plan = TilingPlan(layer=workload, budget_bytes=budget_bytes)
+    if conv_tile_footprint(workload) <= budget_bytes:
+        plan.tiles.append(TileSlice(workload=workload, row_offset=0, col_offset=0))
+        return plan
+
+    # A tile consumes a pre-padded slice of the input: ``rows`` output rows
+    # need ``(rows-1)*stride + kernel_h`` input rows (the DMA stages the halo
+    # rows with the slice), and the full padded width.  The tile itself is
+    # therefore expressed with padding = 0 so its output shape is exact.
+    padded_width = workload.in_width + 2 * workload.padding
+
+    def make_tile(name: str, rows: int, channels: int) -> ConvWorkload:
+        in_rows = (rows - 1) * workload.stride + workload.kernel_h
+        return workload.scaled(
+            name=name,
+            in_height=in_rows,
+            in_width=padded_width,
+            out_channels=channels,
+            padding=0,
+        )
+
+    max_row_parts = workload.out_height
+    max_channel_parts = ceil_div(workload.out_channels, 8)
+    for channel_parts in range(1, max_channel_parts + 1):
+        channel_sizes = _split(workload.out_channels, channel_parts)
+        for row_parts in range(1, max_row_parts + 1):
+            rows_per_tile = ceil_div(workload.out_height, row_parts)
+            probe = make_tile(
+                f"{workload.name}__probe", rows_per_tile, max(channel_sizes)
+            )
+            if conv_tile_footprint(probe) > budget_bytes:
+                continue
+            # Emit the tiles.
+            out_row = 0
+            while out_row < workload.out_height:
+                rows = min(rows_per_tile, workload.out_height - out_row)
+                col = 0
+                for channels in channel_sizes:
+                    tile = make_tile(
+                        f"{workload.name}__tile_y{out_row}_c{col}", rows, channels
+                    )
+                    plan.tiles.append(
+                        TileSlice(workload=tile, row_offset=out_row, col_offset=col)
+                    )
+                    col += channels
+                out_row += rows
+            return plan
+    raise TilingError(
+        f"{workload.name}: cannot tile the convolution under {budget_bytes} bytes"
+    )
+
+
+def tile_workload(
+    workload: Workload, budget_bytes: int = DEFAULT_TILE_BUDGET_BYTES
+) -> TilingPlan:
+    """Tile any supported workload type."""
+    if isinstance(workload, GemmWorkload):
+        return tile_gemm(workload, budget_bytes)
+    if isinstance(workload, ConvWorkload):
+        return tile_convolution(workload, budget_bytes)
+    raise TypeError(f"unsupported workload type {type(workload)!r}")

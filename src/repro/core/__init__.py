@@ -1,0 +1,70 @@
+"""DataMaestro core: AGU, channels/MIC, remapper, extensions, streamer top."""
+
+from .agu import (
+    AddressBundle,
+    AddressGenerationUnit,
+    SpatialAddressGenerator,
+    TemporalAddressGenerator,
+    reference_address_sequence,
+    reference_temporal_addresses,
+)
+from .channel import ChannelAddress, StreamChannel
+from .csr import (
+    CsrAddressMap,
+    decode_runtime_config,
+    encode_runtime_config,
+)
+from .extensions import (
+    Broadcaster,
+    DatapathExtension,
+    ExtensionPipeline,
+    Transposer,
+    create_extension,
+    register_extension,
+    registered_extensions,
+)
+from .params import (
+    ABLATION_STEPS,
+    ExtensionSpec,
+    FeatureSet,
+    MemoryDesign,
+    StreamerDesign,
+    StreamerMode,
+    StreamerRuntimeConfig,
+    ablation_feature_sets,
+    validate_streamer_designs,
+)
+from .remapper import AddressRemapper
+from .streamer import DataMaestro
+
+__all__ = [
+    "AddressBundle",
+    "AddressGenerationUnit",
+    "SpatialAddressGenerator",
+    "TemporalAddressGenerator",
+    "reference_address_sequence",
+    "reference_temporal_addresses",
+    "ChannelAddress",
+    "StreamChannel",
+    "CsrAddressMap",
+    "encode_runtime_config",
+    "decode_runtime_config",
+    "DatapathExtension",
+    "Transposer",
+    "Broadcaster",
+    "ExtensionPipeline",
+    "create_extension",
+    "register_extension",
+    "registered_extensions",
+    "ExtensionSpec",
+    "FeatureSet",
+    "MemoryDesign",
+    "StreamerDesign",
+    "StreamerMode",
+    "StreamerRuntimeConfig",
+    "ABLATION_STEPS",
+    "ablation_feature_sets",
+    "validate_streamer_designs",
+    "AddressRemapper",
+    "DataMaestro",
+]

@@ -1,0 +1,179 @@
+"""Per-channel Memory Interface Controller and FIFOs (paper §III-C, Fig. 2(b)).
+
+A DataMaestro splits one wide accelerator word into ``N_C`` narrow channels,
+each the width of one memory bank word.  Every channel owns:
+
+* an **address FIFO** fed by the AGU (depth ``D_ABf``);
+* a **data FIFO** decoupling memory responses from the accelerator
+  (depth ``D_DBf``);
+* a **Memory Interface Controller** made of the *Request Side Controller*
+  (issues requests as soon as an address and a credit are available) and the
+  *Outstanding Request Manager* (reserves data-FIFO slots for in-flight
+  requests so a response never finds its FIFO full).
+
+This fine-grained, per-channel request issue is what the paper calls
+fine-grained prefetch: each channel runs ahead independently, so a bank
+conflict on one channel does not stall the others, and the data FIFOs absorb
+the resulting jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..memory.addressing import BankLocation
+from ..memory.subsystem import MemoryRequest, MemorySubsystem
+from ..sim.fifo import Fifo
+from .params import StreamerDesign, StreamerMode
+
+
+@dataclass
+class ChannelAddress:
+    """One decoded address queued for a channel."""
+
+    logical: int
+    location: BankLocation
+    step: int
+
+
+class StreamChannel:
+    """One memory-interaction channel of a DataMaestro."""
+
+    def __init__(self, streamer_name: str, index: int, design: StreamerDesign) -> None:
+        self.streamer_name = streamer_name
+        self.index = index
+        self.design = design
+        self.requester_id = f"{streamer_name}.ch{index}"
+        self.address_fifo: Fifo[ChannelAddress] = Fifo(
+            design.address_buffer_depth, name=f"{self.requester_id}.addr"
+        )
+        self.data_fifo: Fifo[np.ndarray] = Fifo(
+            design.data_buffer_depth, name=f"{self.requester_id}.data"
+        )
+        self.outstanding = 0
+        self.requests_issued = 0
+        self.responses_received = 0
+        self.credit_stall_cycles = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def is_read(self) -> bool:
+        return self.design.mode is StreamerMode.READ
+
+    @property
+    def busy(self) -> bool:
+        """True while the channel still holds work in any stage."""
+        return (
+            not self.address_fifo.is_empty
+            or not self.data_fifo.is_empty
+            or self.outstanding > 0
+        )
+
+    def reset(self) -> None:
+        """Clear FIFOs and in-flight bookkeeping between kernels."""
+        self.address_fifo.clear()
+        self.data_fifo.clear()
+        self.outstanding = 0
+
+    # ------------------------------------------------------------------
+    # Outstanding Request Manager: credit computation.
+    # ------------------------------------------------------------------
+    @property
+    def read_credits(self) -> int:
+        """Data-FIFO slots not yet reserved by in-flight read requests."""
+        return self.data_fifo.free_slots - self.outstanding
+
+    def can_issue_read(self) -> bool:
+        return not self.address_fifo.is_empty and self.read_credits > 0
+
+    def can_issue_write(self) -> bool:
+        return not self.address_fifo.is_empty and not self.data_fifo.is_empty
+
+    # ------------------------------------------------------------------
+    # Request Side Controller: per-cycle issue.
+    # ------------------------------------------------------------------
+    def issue(self, memory: MemorySubsystem) -> bool:
+        """Issue at most one memory request this cycle; return True if issued."""
+        if self.is_read:
+            if not self.can_issue_read():
+                if not self.address_fifo.is_empty:
+                    self.credit_stall_cycles += 1
+                return False
+            entry = self.address_fifo.pop()
+            memory.submit(
+                MemoryRequest(
+                    requester=self.requester_id,
+                    is_write=False,
+                    bank=entry.location.bank,
+                    line=entry.location.line,
+                    tag=entry.step,
+                )
+            )
+        else:
+            if not self.can_issue_write():
+                return False
+            entry = self.address_fifo.pop()
+            data = self.data_fifo.pop()
+            memory.submit(
+                MemoryRequest(
+                    requester=self.requester_id,
+                    is_write=True,
+                    bank=entry.location.bank,
+                    line=entry.location.line,
+                    data=data,
+                    tag=entry.step,
+                )
+            )
+        self.outstanding += 1
+        self.requests_issued += 1
+        return True
+
+    def collect(self, memory: MemorySubsystem) -> int:
+        """Drain matured responses; return the number collected."""
+        responses = memory.collect_responses(self.requester_id)
+        for response in responses:
+            self.outstanding -= 1
+            self.responses_received += 1
+            if not response.is_write:
+                # The ORM reserved a slot when the request was issued, so a
+                # full FIFO here would indicate a protocol bug.
+                self.data_fifo.push(response.data)
+        return len(responses)
+
+    # ------------------------------------------------------------------
+    # Streamer-facing data movement.
+    # ------------------------------------------------------------------
+    def push_address(self, address: ChannelAddress) -> None:
+        self.address_fifo.push(address)
+
+    def output_word_available(self) -> bool:
+        """Read mode: data ready for the accelerator."""
+        return not self.data_fifo.is_empty
+
+    def pop_output_word(self) -> np.ndarray:
+        return self.data_fifo.pop()
+
+    def input_space_available(self) -> bool:
+        """Write mode: room for one more word from the accelerator."""
+        return not self.data_fifo.is_full
+
+    def push_input_word(self, data: np.ndarray) -> None:
+        self.data_fifo.push(np.asarray(data, dtype=np.uint8))
+
+    def statistics(self) -> dict:
+        return {
+            "requests_issued": self.requests_issued,
+            "responses_received": self.responses_received,
+            "credit_stall_cycles": self.credit_stall_cycles,
+            "max_data_occupancy": self.data_fifo.max_occupancy,
+            "max_addr_occupancy": self.address_fifo.max_occupancy,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StreamChannel({self.requester_id}, outstanding={self.outstanding}, "
+            f"addr={self.address_fifo.occupancy}, data={self.data_fifo.occupancy})"
+        )

@@ -1,0 +1,245 @@
+"""CSR-level programming model for DataMaestro.
+
+The paper's evaluation system programs every DataMaestro through a set of
+control/status registers written by the RISC-V host (base address, temporal
+bounds/strides, spatial strides, addressing-mode selection ``RS``, extension
+enables) followed by a start command.  This module reproduces that interface:
+
+* :class:`CsrAddressMap` lays out the register file of a given
+  :class:`~repro.core.params.StreamerDesign`;
+* :func:`encode_runtime_config` lowers a
+  :class:`~repro.core.params.StreamerRuntimeConfig` into a list of
+  ``(offset, value)`` CSR writes;
+* :func:`decode_runtime_config` re-assembles the runtime config from a
+  register image, proving the encoding is lossless (tested round-trip).
+
+The compiler emits CSR write lists, and
+:class:`repro.system.host.HostProcessor` plays them into the streamers —
+mirroring how the real system is driven, while the rest of the simulator only
+ever sees the decoded :class:`StreamerRuntimeConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .params import StreamerDesign, StreamerRuntimeConfig
+
+#: Number of 32-bit parameter slots reserved per datapath extension.
+EXTENSION_PARAM_SLOTS = 4
+
+#: Register word size in bytes (RV32 host).
+CSR_WORD_BYTES = 4
+
+
+@dataclass(frozen=True)
+class CsrField:
+    """One named register (or register array element) in the map."""
+
+    name: str
+    offset: int
+
+
+class CsrAddressMap:
+    """Register layout of one DataMaestro, derived from its design."""
+
+    def __init__(self, design: StreamerDesign) -> None:
+        self.design = design
+        self._fields: Dict[str, int] = {}
+        offset = 0
+
+        def alloc(name: str) -> None:
+            nonlocal offset
+            self._fields[name] = offset
+            offset += CSR_WORD_BYTES
+
+        alloc("base_address")
+        for index in range(design.temporal_dims):
+            alloc(f"temporal_bound_{index}")
+        for index in range(design.temporal_dims):
+            alloc(f"temporal_stride_{index}")
+        for index in range(design.spatial_dims):
+            alloc(f"spatial_stride_{index}")
+        alloc("addressing_mode")
+        alloc("active_channels")
+        alloc("extension_enable")
+        for ext_index in range(len(design.extensions)):
+            for slot in range(EXTENSION_PARAM_SLOTS):
+                alloc(f"extension_{ext_index}_param_{slot}")
+        alloc("start")
+        alloc("status")
+        self.size_bytes = offset
+
+    # ------------------------------------------------------------------
+    def offset_of(self, name: str) -> int:
+        try:
+            return self._fields[name]
+        except KeyError as exc:
+            raise KeyError(
+                f"unknown CSR {name!r} for streamer {self.design.name!r}"
+            ) from exc
+
+    def name_of(self, offset: int) -> str:
+        for name, field_offset in self._fields.items():
+            if field_offset == offset:
+                return name
+        raise KeyError(f"no CSR at offset {offset:#x}")
+
+    def fields(self) -> List[CsrField]:
+        return [CsrField(name, offset) for name, offset in self._fields.items()]
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+
+# ----------------------------------------------------------------------
+# Extension runtime-parameter packing.
+# ----------------------------------------------------------------------
+def _pack_extension_params(kind: str, params: Dict[str, object]) -> List[int]:
+    """Pack known extension runtime parameters into integer slots."""
+    slots = [0] * EXTENSION_PARAM_SLOTS
+    if kind == "transposer":
+        slots[0] = int(params.get("rows", 8))
+        slots[1] = int(params.get("cols", 8))
+        slots[2] = int(params.get("element_bytes", 1))
+    elif kind == "broadcaster":
+        slots[0] = int(params.get("factor", 1))
+    else:
+        # Custom extensions may use up to EXTENSION_PARAM_SLOTS integer
+        # parameters named p0..p3.
+        for slot in range(EXTENSION_PARAM_SLOTS):
+            slots[slot] = int(params.get(f"p{slot}", 0))
+    return slots
+
+
+def _unpack_extension_params(kind: str, slots: Sequence[int]) -> Dict[str, object]:
+    if kind == "transposer":
+        return {
+            "rows": int(slots[0]),
+            "cols": int(slots[1]),
+            "element_bytes": int(slots[2]),
+        }
+    if kind == "broadcaster":
+        return {"factor": int(slots[0])}
+    return {f"p{index}": int(value) for index, value in enumerate(slots) if value}
+
+
+# ----------------------------------------------------------------------
+# Runtime-config <-> CSR-write-list conversion.
+# ----------------------------------------------------------------------
+def encode_runtime_config(
+    design: StreamerDesign,
+    runtime: StreamerRuntimeConfig,
+    group_size_options: Sequence[int],
+) -> List[Tuple[int, int]]:
+    """Lower a runtime config into ``(offset, value)`` CSR writes."""
+    runtime.validate_against(design)
+    csr_map = CsrAddressMap(design)
+    options = list(group_size_options)
+    if runtime.bank_group_size not in options:
+        raise ValueError(
+            f"{design.name}: bank group size {runtime.bank_group_size} is not "
+            f"one of the instantiated options {options}"
+        )
+    writes: List[Tuple[int, int]] = [
+        (csr_map.offset_of("base_address"), runtime.base_address)
+    ]
+    for index in range(design.temporal_dims):
+        bound = runtime.temporal_bounds[index] if index < len(runtime.temporal_bounds) else 1
+        stride = (
+            runtime.temporal_strides[index]
+            if index < len(runtime.temporal_strides)
+            else 0
+        )
+        writes.append((csr_map.offset_of(f"temporal_bound_{index}"), bound))
+        writes.append((csr_map.offset_of(f"temporal_stride_{index}"), stride))
+    for index in range(design.spatial_dims):
+        writes.append(
+            (csr_map.offset_of(f"spatial_stride_{index}"), runtime.spatial_strides[index])
+        )
+    writes.append(
+        (csr_map.offset_of("addressing_mode"), options.index(runtime.bank_group_size))
+    )
+    writes.append(
+        (
+            csr_map.offset_of("active_channels"),
+            runtime.active_channels or design.num_channels,
+        )
+    )
+    enables = runtime.extension_enables or tuple(True for _ in design.extensions)
+    enable_mask = 0
+    for bit, enabled in enumerate(enables):
+        if enabled:
+            enable_mask |= 1 << bit
+    writes.append((csr_map.offset_of("extension_enable"), enable_mask))
+    ext_params = runtime.extension_params_dict()
+    for ext_index, spec in enumerate(design.extensions):
+        params = dict(ext_params.get(spec.kind, {}))
+        slots = _pack_extension_params(spec.kind, params)
+        for slot, value in enumerate(slots):
+            writes.append(
+                (csr_map.offset_of(f"extension_{ext_index}_param_{slot}"), value)
+            )
+    return writes
+
+
+def decode_runtime_config(
+    design: StreamerDesign,
+    register_image: Dict[int, int],
+    group_size_options: Sequence[int],
+) -> StreamerRuntimeConfig:
+    """Re-assemble a runtime config from a register image (offset → value)."""
+    csr_map = CsrAddressMap(design)
+    options = list(group_size_options)
+
+    def read(name: str, default: int = 0) -> int:
+        return int(register_image.get(csr_map.offset_of(name), default))
+
+    temporal_bounds = []
+    temporal_strides = []
+    for index in range(design.temporal_dims):
+        bound = read(f"temporal_bound_{index}", 1)
+        stride = read(f"temporal_stride_{index}", 0)
+        temporal_bounds.append(bound)
+        temporal_strides.append(stride)
+    # Trim trailing unit dimensions so the decoded config matches what the
+    # compiler emitted (unused dims are programmed with bound=1, stride=0).
+    while (
+        len(temporal_bounds) > 1
+        and temporal_bounds[-1] == 1
+        and temporal_strides[-1] == 0
+    ):
+        temporal_bounds.pop()
+        temporal_strides.pop()
+
+    spatial_strides = tuple(
+        read(f"spatial_stride_{index}") for index in range(design.spatial_dims)
+    )
+    mode_index = read("addressing_mode")
+    if not 0 <= mode_index < len(options):
+        raise ValueError(f"decoded RS index {mode_index} out of range for {options}")
+    enable_mask = read("extension_enable")
+    enables = tuple(
+        bool(enable_mask & (1 << bit)) for bit in range(len(design.extensions))
+    )
+    extension_params = []
+    for ext_index, spec in enumerate(design.extensions):
+        slots = [
+            read(f"extension_{ext_index}_param_{slot}")
+            for slot in range(EXTENSION_PARAM_SLOTS)
+        ]
+        params = _unpack_extension_params(spec.kind, slots)
+        if params:
+            extension_params.append((spec.kind, tuple(sorted(params.items()))))
+    active = read("active_channels", design.num_channels)
+    return StreamerRuntimeConfig(
+        base_address=read("base_address"),
+        temporal_bounds=tuple(temporal_bounds),
+        temporal_strides=tuple(temporal_strides),
+        spatial_strides=spatial_strides,
+        bank_group_size=options[mode_index],
+        active_channels=active if active != design.num_channels else None,
+        extension_enables=enables if design.extensions else (),
+        extension_params=tuple(extension_params),
+    )

@@ -1,0 +1,55 @@
+"""Experiment modules: one per paper table/figure (importable and runnable).
+
+Each module exposes ``run(...) -> dict`` (the raw data), ``report(results)
+-> str`` (a formatted text report) and ``main()`` (print the report).  They
+are runnable as ``python -m repro.experiments.<name>`` and are wrapped by the
+``benchmarks/`` harness.
+"""
+
+from typing import Callable, Dict
+
+from . import (
+    fig4_agu,
+    fig7_ablation,
+    fig8_fpga,
+    fig9_breakdown,
+    fig10_comparison,
+    table1_features,
+    table3_networks,
+)
+
+#: Registry mapping experiment id (paper table/figure) to its module.
+EXPERIMENTS = {
+    "table1": table1_features,
+    "fig4": fig4_agu,
+    "fig7": fig7_ablation,
+    "fig8": fig8_fpga,
+    "fig9": fig9_breakdown,
+    "fig10": fig10_comparison,
+    "table3": table3_networks,
+}
+
+
+def run_experiment(name: str, **kwargs) -> dict:
+    """Run one experiment by its registry name."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[name].run(**kwargs)
+
+
+def report_experiment(name: str, results: dict) -> str:
+    return EXPERIMENTS[name].report(results)
+
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_experiment",
+    "report_experiment",
+    "table1_features",
+    "fig4_agu",
+    "fig7_ablation",
+    "fig8_fpga",
+    "fig9_breakdown",
+    "fig10_comparison",
+    "table3_networks",
+]

@@ -1,0 +1,173 @@
+"""Figure 10 — comparison with SotA accelerators and streaming engines.
+
+Left panel: normalized throughput (GOPS at 512 PEs, 1 GHz) of the
+DataMaestro-boosted GeMM core versus Gemmini (OS/WS), BitWave and FEATHER on
+four representative kernels (GeMM-64, GeMM-128, a 7×7 and a 3×3
+convolution).  DataMaestro's utilization is *measured* by cycle simulation;
+the comparators use the behavioural models in :mod:`repro.baselines`
+(documented approximations of each accelerator's data-orchestration scheme).
+
+Right panel: share of system area/power spent on data movement, comparing
+the five DataMaestros (from the repository's area/power models) with the
+numbers the paper compiled from the literature for Buffet, Softbrain,
+BitWave and FEATHER.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..analysis.area import AreaModel
+from ..analysis.power import gemm64_power_report
+from ..analysis.reporting import format_comparison, format_table
+from ..baselines import DataMaestroSolution, overhead_comparison, throughput_baselines
+from ..system.design import AcceleratorSystemDesign, datamaestro_evaluation_system
+from ..workloads.spec import ConvWorkload, GemmWorkload, Workload
+
+#: Number of PEs and clock every system is normalized to (as in the paper).
+NORMALIZED_PES = 512
+NORMALIZED_FREQUENCY_GHZ = 1.0
+
+#: Paper reference: the DataMaestro-boosted core is 1.05–21.39× faster.
+PAPER_SPEEDUP_RANGE = (1.05, 21.39)
+
+#: Paper reference for the right panel (% of system area / power).
+PAPER_OVERHEAD_TABLE = {
+    "Buffet": {"area_percent": 2.0, "power_percent": 14.0},
+    "Softbrain": {"area_percent": 4.3, "power_percent": 15.3},
+    "BitWave": {"area_percent": 11.9, "power_percent": 25.5},
+    "FEATHER": {"area_percent": 8.9, "power_percent": None},
+    "DataMaestro": {"area_percent": 6.43, "power_percent": 15.06},
+}
+
+
+def comparison_kernels() -> List[Workload]:
+    """The four representative kernels of Figure 10 (left)."""
+    return [
+        GemmWorkload(name="GeMM-64", m=64, n=64, k=64),
+        GemmWorkload(name="GeMM-128", m=128, n=128, k=128),
+        ConvWorkload(
+            name="Conv-7x7",
+            in_height=16,
+            in_width=16,
+            in_channels=16,
+            out_channels=32,
+            kernel_h=7,
+            kernel_w=7,
+            stride=2,
+            padding=3,
+        ),
+        ConvWorkload(
+            name="Conv-3x3",
+            in_height=16,
+            in_width=16,
+            in_channels=32,
+            out_channels=32,
+            kernel_h=3,
+            kernel_w=3,
+            stride=1,
+            padding=1,
+        ),
+    ]
+
+
+def run(design: Optional[AcceleratorSystemDesign] = None, seed: int = 0) -> Dict[str, object]:
+    design = design or datamaestro_evaluation_system()
+    kernels = comparison_kernels()
+    datamaestro = DataMaestroSolution(design, seed=seed)
+    baselines = throughput_baselines()
+
+    throughput: Dict[str, Dict[str, float]] = {}
+    utilization: Dict[str, Dict[str, float]] = {}
+    speedups: Dict[str, Dict[str, float]] = {}
+    for kernel in kernels:
+        throughput[kernel.name] = {}
+        utilization[kernel.name] = {}
+        speedups[kernel.name] = {}
+        our_util = datamaestro.utilization(kernel)
+        our_gops = 2.0 * NORMALIZED_PES * NORMALIZED_FREQUENCY_GHZ * our_util
+        for baseline in baselines:
+            base_util = baseline.utilization(kernel)
+            base_gops = 2.0 * NORMALIZED_PES * NORMALIZED_FREQUENCY_GHZ * base_util
+            throughput[kernel.name][baseline.name] = base_gops
+            utilization[kernel.name][baseline.name] = base_util
+            speedups[kernel.name][baseline.name] = (
+                our_gops / base_gops if base_gops > 0 else float("inf")
+            )
+        throughput[kernel.name]["DataMaestro-boosted"] = our_gops
+        utilization[kernel.name]["DataMaestro-boosted"] = our_util
+
+    all_speedups = [
+        value for per_kernel in speedups.values() for value in per_kernel.values()
+    ]
+
+    # Right panel: data movement area/power overhead.
+    area_shares = AreaModel(design).system_breakdown().shares_percent()
+    power_shares = gemm64_power_report(design, seed=seed)["power_shares_percent"]
+    overhead = {
+        name: {
+            "area_percent": profile.area_percent,
+            "power_percent": profile.power_percent,
+        }
+        for name, profile in overhead_comparison().items()
+    }
+    overhead["DataMaestro (model)"] = {
+        "area_percent": area_shares["datamaestros"],
+        "power_percent": power_shares["datamaestros"],
+    }
+
+    return {
+        "normalized_throughput_gops": throughput,
+        "utilization": utilization,
+        "speedup_over_baselines": speedups,
+        "speedup_range": (min(all_speedups), max(all_speedups)),
+        "paper_speedup_range": PAPER_SPEEDUP_RANGE,
+        "overhead_comparison": overhead,
+        "paper_overhead_table": PAPER_OVERHEAD_TABLE,
+    }
+
+
+def report(results: Dict[str, object]) -> str:
+    sections = [
+        format_comparison(
+            "Figure 10 (left): normalized throughput (GOPS, 512 PEs @ 1 GHz)",
+            results["normalized_throughput_gops"],
+            float_format="{:.0f}",
+        ),
+        format_comparison(
+            "DataMaestro-boosted speedup over each baseline",
+            results["speedup_over_baselines"],
+            float_format="{:.2f}",
+        ),
+        (
+            "speedup range: "
+            f"{results['speedup_range'][0]:.2f}x - {results['speedup_range'][1]:.2f}x "
+            f"(paper: {results['paper_speedup_range'][0]}x - "
+            f"{results['paper_speedup_range'][1]}x)"
+        ),
+        format_table(
+            ["solution", "area (%)", "power (%)"],
+            [
+                [
+                    name,
+                    values["area_percent"] if values["area_percent"] is not None else "N/A",
+                    values["power_percent"]
+                    if values["power_percent"] is not None
+                    else "N/A",
+                ]
+                for name, values in results["overhead_comparison"].items()
+            ],
+            title="Figure 10 (right): data movement area/power share of the system",
+        ),
+    ]
+    return "\n\n".join(sections)
+
+
+def main() -> str:
+    text = report(run())
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,184 @@
+"""Figure 7 — ablation study of the DataMaestro features.
+
+Regenerates both panels of the paper's Figure 7 on the synthetic workload
+suite:
+
+* (a) GeMM-core utilization distribution (box statistics) and per-group
+  averages for architectures ① through ⑥;
+* (b) data access counts normalized to the baseline architecture ①.
+
+The full 260-workload suite is used when ``full=True`` (or the environment
+variable ``REPRO_FULL_SUITE=1`` is set); otherwise a stratified subset keeps
+the pure-Python run time to a few minutes.  EXPERIMENTS.md records which
+setting produced the published numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+from ..analysis.ablation import STEP_LABELS, AblationResults, AblationStudy
+from ..analysis.reporting import format_comparison, format_table
+from ..system.design import AcceleratorSystemDesign
+from ..workloads.spec import WorkloadGroup
+from ..workloads.synthetic import synthetic_suite
+
+#: Workloads per group in the default (quick) configuration.
+DEFAULT_WORKLOADS_PER_GROUP = 6
+
+#: Paper reference points for Figure 7(a): utilization factor separating the
+#: fully-featured architecture ⑥ from each step, per workload group.
+PAPER_FIG7A_FINAL_OVER_STEP = {
+    "gemm": {"1_baseline": 2.70, "2_prefetch": 1.20, "6_full": 1.00},
+    "transposed_gemm": {"1_baseline": 2.86, "2_prefetch": 1.41, "6_full": 1.00},
+    "convolution": {"1_baseline": 2.36, "2_prefetch": 1.42, "6_full": 1.00},
+}
+
+#: Paper reference: ⑥ reaches 100% on GeMM groups, 92.03% average on conv.
+PAPER_FIG7A_FINAL_UTILIZATION = {
+    "gemm": 1.00,
+    "transposed_gemm": 1.00,
+    "convolution": 0.9203,
+}
+
+#: Paper reference points for Figure 7(b): the largest reductions quoted.
+PAPER_FIG7B_REDUCTIONS = {
+    "transposer_on_transposed_gemm": 0.1586,
+    "broadcaster_up_to": 0.1458,
+    "overall_up_to": 0.2115,
+}
+
+
+def full_suite_requested(full: Optional[bool]) -> bool:
+    if full is not None:
+        return full
+    return os.environ.get("REPRO_FULL_SUITE", "0") not in ("", "0", "false", "False")
+
+
+def run(
+    workloads_per_group: Optional[int] = None,
+    full: Optional[bool] = None,
+    design: Optional[AcceleratorSystemDesign] = None,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Run the ablation sweep and return the Figure 7 summaries."""
+    use_full = full_suite_requested(full)
+    if workloads_per_group is None:
+        workloads_per_group = None if use_full else DEFAULT_WORKLOADS_PER_GROUP
+    study = AblationStudy(design=design, seed=seed)
+    results: AblationResults = study.run(
+        suite=synthetic_suite(), workloads_per_group=workloads_per_group
+    )
+    mean_util = {
+        group.value: by_step
+        for group, by_step in results.mean_utilization().items()
+    }
+    distributions = {
+        group.value: {step: stats.as_dict() for step, stats in by_step.items()}
+        for group, by_step in results.utilization_distribution().items()
+    }
+    normalized_accesses = {
+        group.value: by_step
+        for group, by_step in results.normalized_access_counts().items()
+    }
+    speedups = {
+        group.value: by_step
+        for group, by_step in results.speedup_over_baseline().items()
+    }
+    return {
+        "workloads_per_group": workloads_per_group,
+        "full_suite": use_full,
+        "num_simulations": len(results.entries),
+        "mean_utilization": mean_util,
+        "utilization_distribution": distributions,
+        "normalized_access_counts": normalized_accesses,
+        "speedup_over_baseline": speedups,
+        "max_speedup": results.max_speedup(),
+        "max_access_reduction": results.max_access_reduction(),
+        "paper_reference": {
+            "final_over_step": PAPER_FIG7A_FINAL_OVER_STEP,
+            "final_utilization": PAPER_FIG7A_FINAL_UTILIZATION,
+            "access_reductions": PAPER_FIG7B_REDUCTIONS,
+        },
+    }
+
+
+def report(results: Dict[str, object]) -> str:
+    sections = []
+    label = {step: STEP_LABELS.get(step, step) for step in STEP_LABELS}
+
+    mean_util = {
+        group: {label[step]: value for step, value in by_step.items()}
+        for group, by_step in results["mean_utilization"].items()
+    }
+    sections.append(
+        format_comparison(
+            "Figure 7(a): average GeMM-core utilization per architecture",
+            mean_util,
+        )
+    )
+
+    accesses = {
+        group: {label[step]: value for step, value in by_step.items()}
+        for group, by_step in results["normalized_access_counts"].items()
+    }
+    sections.append(
+        format_comparison(
+            "Figure 7(b): data access counts normalized to the baseline (1)",
+            accesses,
+        )
+    )
+
+    speedups = {
+        group: {label[step]: value for step, value in by_step.items()}
+        for group, by_step in results["speedup_over_baseline"].items()
+    }
+    sections.append(
+        format_comparison("Speedup of each architecture over the baseline", speedups)
+    )
+
+    dist_rows = []
+    for group, by_step in results["utilization_distribution"].items():
+        for step, stats in by_step.items():
+            dist_rows.append(
+                [
+                    group,
+                    label[step],
+                    stats["min"],
+                    stats["q1"],
+                    stats["median"],
+                    stats["q3"],
+                    stats["max"],
+                ]
+            )
+    sections.append(
+        format_table(
+            ["group", "architecture", "min", "q1", "median", "q3", "max"],
+            dist_rows,
+            title="Figure 7(a): utilization distribution (box-plot statistics)",
+            float_format="{:.3f}",
+        )
+    )
+
+    sections.append(
+        f"max speedup (6) vs (1): {results['max_speedup']:.2f}x "
+        f"(paper: up to 2.89x); "
+        f"max access reduction: {100 * results['max_access_reduction']:.2f}% "
+        f"(paper: up to 21.15%)"
+    )
+    sections.append(
+        f"simulations: {results['num_simulations']} "
+        f"({'full suite' if results['full_suite'] else 'stratified subset'})"
+    )
+    return "\n\n".join(sections)
+
+
+def main() -> str:
+    text = report(run())
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

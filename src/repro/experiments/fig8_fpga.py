@@ -1,0 +1,67 @@
+"""Figure 8 — FPGA prototype resource utilization.
+
+Reproduces the resource table of the paper's Figure 8 with the parametric
+FPGA model (:class:`repro.analysis.area.FpgaResourceModel`), printed next to
+the paper's reported VPK180 numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..analysis.area import FpgaResourceModel
+from ..analysis.reporting import format_table
+from ..analysis.technology import PAPER_FPGA_REFERENCE
+from ..system.design import AcceleratorSystemDesign
+
+
+def run(design: Optional[AcceleratorSystemDesign] = None) -> Dict[str, object]:
+    model = FpgaResourceModel(design)
+    resources = model.estimate()
+    return {
+        "model": {
+            "luts_total": resources.luts_total,
+            "regs_total": resources.regs_total,
+            "luts_gemm": resources.luts_gemm,
+            "regs_gemm": resources.regs_gemm,
+            "luts_datamaestros": resources.luts_datamaestros,
+            "regs_datamaestros": resources.regs_datamaestros,
+            "luts_gemm_percent": 100.0 * resources.luts_gemm / resources.luts_total,
+            "luts_datamaestros_percent": 100.0
+            * resources.luts_datamaestros
+            / resources.luts_total,
+        },
+        "paper": dict(PAPER_FPGA_REFERENCE),
+        "resources": resources,
+    }
+
+
+def report(results: Dict[str, object]) -> str:
+    model = results["model"]
+    paper = results["paper"]
+    rows = [
+        ["LUTs total", model["luts_total"], paper["luts_total"]],
+        ["Regs total", model["regs_total"], paper["regs_total"]],
+        ["LUTs GeMM", model["luts_gemm"], paper["luts_gemm"]],
+        ["Regs GeMM", model["regs_gemm"], paper["regs_gemm"]],
+        ["LUTs DataMaestros", model["luts_datamaestros"], paper["luts_datamaestros"]],
+        ["Regs DataMaestros", model["regs_datamaestros"], paper["regs_datamaestros"]],
+        ["LUTs GeMM (%)", model["luts_gemm_percent"], 46.79],
+        ["LUTs DataMaestros (%)", model["luts_datamaestros_percent"], 5.28],
+    ]
+    return format_table(
+        ["resource", "model", "paper (VPK180)"],
+        rows,
+        title="Figure 8: FPGA resource utilization of the evaluation system",
+        float_format="{:.0f}",
+    )
+
+
+def main() -> str:
+    text = report(run())
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,101 @@
+"""Figure 9 and §IV-D — area breakdown, power breakdown, energy efficiency.
+
+Reproduces:
+
+* Fig. 9(a) — system cell-area breakdown (memory, host, GeMM, quantizer and
+  the five DataMaestros individually);
+* Fig. 9(b) — area composition of DataMaestro A (FIFOs, AGU, MIC, remapper,
+  Transposer);
+* Fig. 9(c) — system power breakdown while executing GeMM-64 at 1 GHz;
+* the §IV-D headline numbers (total power, energy efficiency).
+
+Area/power come from the parametric models driven by simulated activity; the
+report prints them next to the paper's reported percentages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..analysis.area import AreaModel
+from ..analysis.power import gemm64_power_report
+from ..analysis.reporting import format_percentage_map, format_table
+from ..analysis.technology import PAPER_SILICON_REFERENCE
+from ..system.design import AcceleratorSystemDesign
+
+
+def run(design: Optional[AcceleratorSystemDesign] = None, seed: int = 0) -> Dict[str, object]:
+    area_model = AreaModel(design)
+    area = area_model.system_breakdown()
+    power_report = gemm64_power_report(design, area_breakdown=area, seed=seed)
+    return {
+        "area_shares_percent": area.shares_percent(),
+        "streamer_area_shares_percent": area.streamer_shares_percent(),
+        "datamaestro_a_composition_percent": area.streamers["A"].shares_percent(),
+        "power_shares_percent": power_report["power_shares_percent"],
+        "total_power_mw": power_report["total_power_mw"],
+        "energy_efficiency_tops_per_w": power_report["energy_efficiency_tops_per_w"],
+        "gemm64_utilization": power_report["utilization"],
+        "paper_reference": PAPER_SILICON_REFERENCE,
+    }
+
+
+def report(results: Dict[str, object]) -> str:
+    paper = results["paper_reference"]
+    sections = [
+        format_percentage_map(
+            results["area_shares_percent"],
+            title="Figure 9(a): system cell-area breakdown",
+            reference=paper["area_share_percent"],
+        ),
+        format_table(
+            ["DataMaestro", "area share of system (%)", "paper (%)"],
+            [
+                [name, share, ref]
+                for (name, share), ref in zip(
+                    results["streamer_area_shares_percent"].items(),
+                    [2.24, 1.76, 1.27, 0.89, 0.27],
+                )
+            ],
+            title="Figure 9(a): per-DataMaestro area share",
+        ),
+        format_percentage_map(
+            {
+                key.replace("fifo_buffers", "data_fifos"): value
+                for key, value in results[
+                    "datamaestro_a_composition_percent"
+                ].items()
+            },
+            title="Figure 9(b): DataMaestro A area composition",
+            reference=paper["datamaestro_a_share_percent"],
+        ),
+        format_percentage_map(
+            results["power_shares_percent"],
+            title="Figure 9(c): system power breakdown (GeMM-64 @ 1 GHz)",
+            reference=paper["power_share_percent"],
+        ),
+        format_table(
+            ["metric", "model", "paper"],
+            [
+                ["total power (mW)", results["total_power_mw"], paper["total_power_mw"]],
+                [
+                    "energy efficiency (TOPS/W)",
+                    results["energy_efficiency_tops_per_w"],
+                    paper["energy_efficiency_tops_per_w"],
+                ],
+                ["GeMM-64 utilization", results["gemm64_utilization"], 1.0],
+            ],
+            title="Section IV-D headline figures",
+        ),
+    ]
+    return "\n\n".join(sections)
+
+
+def main() -> str:
+    text = report(run())
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,110 @@
+"""Single scratchpad memory bank.
+
+A bank is a single-ported SRAM: one read *or* one write per cycle.  The
+arbitration that enforces the single port lives in
+:class:`repro.memory.subsystem.MemorySubsystem`; the bank itself is the plain
+storage array plus bounds checking and byte-strobe support for partial
+writes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class MemoryBank:
+    """One bank of the multi-banked scratchpad.
+
+    Parameters
+    ----------
+    index:
+        Position of this bank inside the scratchpad (used in error messages).
+    width_bytes:
+        Width of one wordline in bytes.
+    depth:
+        Number of wordlines.
+    """
+
+    def __init__(self, index: int, width_bytes: int, depth: int) -> None:
+        if width_bytes <= 0 or depth <= 0:
+            raise ValueError("bank width and depth must be positive")
+        self.index = int(index)
+        self.width_bytes = int(width_bytes)
+        self.depth = int(depth)
+        self._data = np.zeros((self.depth, self.width_bytes), dtype=np.uint8)
+        self.read_count = 0
+        self.write_count = 0
+
+    # ------------------------------------------------------------------
+    def _check_line(self, line: int) -> None:
+        if not 0 <= line < self.depth:
+            raise IndexError(
+                f"wordline {line} out of range for bank {self.index} "
+                f"(depth={self.depth})"
+            )
+
+    def read(self, line: int) -> np.ndarray:
+        """Return a copy of wordline ``line``."""
+        self._check_line(line)
+        self.read_count += 1
+        return self._data[line].copy()
+
+    def write(
+        self, line: int, data: np.ndarray, strobe: Optional[np.ndarray] = None
+    ) -> None:
+        """Write ``data`` into wordline ``line``.
+
+        ``strobe`` is an optional boolean mask selecting which bytes to
+        update (hardware byte-enable).  Without a strobe the full word is
+        replaced.
+        """
+        self._check_line(line)
+        payload = np.asarray(data, dtype=np.uint8)
+        if payload.shape != (self.width_bytes,):
+            raise ValueError(
+                f"write data must have {self.width_bytes} bytes, "
+                f"got shape {payload.shape}"
+            )
+        self.write_count += 1
+        if strobe is None:
+            self._data[line] = payload
+            return
+        mask = np.asarray(strobe, dtype=bool)
+        if mask.shape != (self.width_bytes,):
+            raise ValueError(
+                f"strobe must have {self.width_bytes} entries, got {mask.shape}"
+            )
+        self._data[line][mask] = payload[mask]
+
+    # ------------------------------------------------------------------
+    # Backdoor access (no port accounting) used by the DMA and tests.
+    # ------------------------------------------------------------------
+    def peek(self, line: int) -> np.ndarray:
+        """Read a wordline without incrementing the access counters."""
+        self._check_line(line)
+        return self._data[line].copy()
+
+    def poke(self, line: int, data: np.ndarray) -> None:
+        """Write a wordline without incrementing the access counters."""
+        self._check_line(line)
+        payload = np.asarray(data, dtype=np.uint8)
+        if payload.shape != (self.width_bytes,):
+            raise ValueError(
+                f"poke data must have {self.width_bytes} bytes, "
+                f"got shape {payload.shape}"
+            )
+        self._data[line] = payload
+
+    def clear(self) -> None:
+        """Zero-fill the bank and reset its access counters."""
+        self._data.fill(0)
+        self.read_count = 0
+        self.write_count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemoryBank(index={self.index}, width_bytes={self.width_bytes}, "
+            f"depth={self.depth})"
+        )

@@ -1,0 +1,107 @@
+"""Multi-banked scratchpad storage.
+
+:class:`ScratchpadMemory` owns the :class:`~repro.memory.bank.MemoryBank`
+instances and provides two views on them:
+
+* a *port* view used by the crossbar/memory subsystem — word accesses at a
+  decoded (bank, line) location, which count towards the access statistics;
+* a *backdoor* view used by the DMA model, the compiler's data loader and the
+  tests — byte-level reads/writes at flat logical addresses under a given
+  addressing mode, which do not consume ports and are not counted.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .addressing import BankGeometry, decode_address
+from .bank import MemoryBank
+
+
+class ScratchpadMemory:
+    """The on-chip scratchpad: ``num_banks`` single-ported banks."""
+
+    def __init__(self, geometry: BankGeometry) -> None:
+        self.geometry = geometry
+        self.banks: List[MemoryBank] = [
+            MemoryBank(index, geometry.bank_width_bytes, geometry.bank_depth)
+            for index in range(geometry.num_banks)
+        ]
+
+    # ------------------------------------------------------------------
+    # Port view (counted accesses).
+    # ------------------------------------------------------------------
+    def read_word(self, bank: int, line: int) -> np.ndarray:
+        """Read one full word from a decoded location."""
+        return self.banks[bank].read(line)
+
+    def write_word(
+        self,
+        bank: int,
+        line: int,
+        data: np.ndarray,
+        strobe: Optional[np.ndarray] = None,
+    ) -> None:
+        """Write one word (optionally byte-strobed) at a decoded location."""
+        self.banks[bank].write(line, data, strobe)
+
+    @property
+    def total_reads(self) -> int:
+        return sum(bank.read_count for bank in self.banks)
+
+    @property
+    def total_writes(self) -> int:
+        return sum(bank.write_count for bank in self.banks)
+
+    # ------------------------------------------------------------------
+    # Backdoor view (uncounted, byte granular, used for data loading).
+    # ------------------------------------------------------------------
+    def backdoor_write(self, address: int, data: np.ndarray, group_size: int) -> None:
+        """Write ``data`` bytes starting at logical ``address``.
+
+        ``group_size`` selects the addressing mode under which the region is
+        later accessed by the streamers, so the bytes land in the same
+        physical locations the streamer requests will target.
+        """
+        payload = np.ascontiguousarray(np.asarray(data, dtype=np.uint8)).ravel()
+        width = self.geometry.bank_width_bytes
+        offset = 0
+        remaining = payload.size
+        while remaining > 0:
+            location = decode_address(address + offset, self.geometry, group_size)
+            chunk = min(remaining, width - location.byte_offset)
+            bank = self.banks[location.bank]
+            line_data = bank.peek(location.line)
+            line_data[location.byte_offset : location.byte_offset + chunk] = payload[
+                offset : offset + chunk
+            ]
+            bank.poke(location.line, line_data)
+            offset += chunk
+            remaining -= chunk
+
+    def backdoor_read(self, address: int, size: int, group_size: int) -> np.ndarray:
+        """Read ``size`` bytes starting at logical ``address``."""
+        width = self.geometry.bank_width_bytes
+        out = np.zeros(size, dtype=np.uint8)
+        offset = 0
+        remaining = size
+        while remaining > 0:
+            location = decode_address(address + offset, self.geometry, group_size)
+            chunk = min(remaining, width - location.byte_offset)
+            line_data = self.banks[location.bank].peek(location.line)
+            out[offset : offset + chunk] = line_data[
+                location.byte_offset : location.byte_offset + chunk
+            ]
+            offset += chunk
+            remaining -= chunk
+        return out
+
+    def clear(self) -> None:
+        """Zero-fill every bank and reset the access counters."""
+        for bank in self.banks:
+            bank.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ScratchpadMemory(geometry={self.geometry})"

@@ -1,0 +1,30 @@
+"""Cycle-level simulation primitives (FIFOs, counters, results, runner)."""
+
+from .fifo import Fifo, FifoError
+from .result import (
+    RunSummary,
+    SimulationLimitError,
+    SimulationResult,
+    weighted_utilization,
+)
+from .runner import CycleRunner, Steppable, run_to_completion
+from .stats import StatCounters, StreamerStats, merge_counter_dicts
+from .trace import CycleTracer, TraceProbe, trace_streamer_occupancy
+
+__all__ = [
+    "CycleTracer",
+    "TraceProbe",
+    "trace_streamer_occupancy",
+    "Fifo",
+    "FifoError",
+    "StatCounters",
+    "StreamerStats",
+    "merge_counter_dicts",
+    "SimulationResult",
+    "RunSummary",
+    "SimulationLimitError",
+    "weighted_utilization",
+    "CycleRunner",
+    "Steppable",
+    "run_to_completion",
+]

@@ -1,0 +1,128 @@
+"""Bounded FIFO queues used throughout the cycle-level models.
+
+Every buffering structure in DataMaestro (the per-channel address FIFOs, the
+per-channel data FIFOs and the small response queues inside the memory
+subsystem) is a simple bounded first-in/first-out queue with valid/ready
+semantics.  The :class:`Fifo` class below models exactly that: a producer may
+``push`` only while the FIFO is not full, a consumer may ``pop`` only while it
+is not empty, and occupancy statistics are tracked so utilization and area
+analyses can reason about buffer sizing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Iterable, Iterator, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class FifoError(RuntimeError):
+    """Raised when a FIFO protocol rule is violated (push-when-full, ...)."""
+
+
+class Fifo(Generic[T]):
+    """A bounded FIFO with valid/ready-style accessors.
+
+    Parameters
+    ----------
+    depth:
+        Maximum number of entries the FIFO can hold.  Must be positive.
+    name:
+        Optional name used in error messages and debugging output.
+    """
+
+    def __init__(self, depth: int, name: str = "fifo") -> None:
+        if depth <= 0:
+            raise ValueError(f"FIFO depth must be positive, got {depth}")
+        self.depth = int(depth)
+        self.name = name
+        self._entries: Deque[T] = deque()
+        self.total_pushes = 0
+        self.total_pops = 0
+        self.max_occupancy = 0
+
+    # ------------------------------------------------------------------
+    # Status queries (the "valid"/"ready" view of the FIFO).
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._entries)
+
+    @property
+    def occupancy(self) -> int:
+        """Number of entries currently stored."""
+        return len(self._entries)
+
+    @property
+    def free_slots(self) -> int:
+        """Number of additional entries that can be pushed right now."""
+        return self.depth - len(self._entries)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.depth
+
+    def can_push(self, count: int = 1) -> bool:
+        """Return ``True`` if ``count`` entries can be pushed this cycle."""
+        return self.free_slots >= count
+
+    def can_pop(self, count: int = 1) -> bool:
+        """Return ``True`` if ``count`` entries can be popped this cycle."""
+        return len(self._entries) >= count
+
+    # ------------------------------------------------------------------
+    # Data movement.
+    # ------------------------------------------------------------------
+    def push(self, item: T) -> None:
+        """Append ``item``; raises :class:`FifoError` when full."""
+        if self.is_full:
+            raise FifoError(f"push into full FIFO '{self.name}' (depth={self.depth})")
+        self._entries.append(item)
+        self.total_pushes += 1
+        if len(self._entries) > self.max_occupancy:
+            self.max_occupancy = len(self._entries)
+
+    def push_many(self, items: Iterable[T]) -> None:
+        """Push every item of ``items`` (all-or-nothing is *not* enforced)."""
+        for item in items:
+            self.push(item)
+
+    def pop(self) -> T:
+        """Remove and return the oldest entry; raises when empty."""
+        if not self._entries:
+            raise FifoError(f"pop from empty FIFO '{self.name}'")
+        self.total_pops += 1
+        return self._entries.popleft()
+
+    def peek(self) -> T:
+        """Return the oldest entry without removing it; raises when empty."""
+        if not self._entries:
+            raise FifoError(f"peek into empty FIFO '{self.name}'")
+        return self._entries[0]
+
+    def peek_optional(self) -> Optional[T]:
+        """Return the oldest entry or ``None`` when the FIFO is empty."""
+        if not self._entries:
+            return None
+        return self._entries[0]
+
+    def clear(self) -> None:
+        """Drop all entries (used when re-configuring between kernels)."""
+        self._entries.clear()
+
+    def snapshot(self) -> List[T]:
+        """Return the current contents oldest-first (for tests/debugging)."""
+        return list(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Fifo(name={self.name!r}, depth={self.depth}, "
+            f"occupancy={self.occupancy})"
+        )

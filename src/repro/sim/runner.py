@@ -1,0 +1,75 @@
+"""Cycle-loop runner shared by the system models.
+
+The DataMaestro evaluation system and the baseline models all expose a
+``step() -> bool`` method ("perform one clock cycle, return True while still
+busy").  :class:`CycleRunner` drives such objects until completion, enforces a
+cycle budget so deadlocks surface as errors instead of hangs, and records the
+elapsed cycle count.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+from .result import SimulationLimitError
+
+
+class Steppable(Protocol):
+    """Anything with a per-cycle ``step`` method."""
+
+    def step(self) -> bool:
+        """Advance one cycle; return ``True`` while more work remains."""
+        ...
+
+
+class CycleRunner:
+    """Drives a :class:`Steppable` object to completion.
+
+    Parameters
+    ----------
+    max_cycles:
+        Upper bound on the number of cycles to simulate.  Exceeding it raises
+        :class:`SimulationLimitError`, which almost always indicates a
+        deadlock (e.g. a write streamer waiting for data that will never
+        arrive because of a mis-configured AGU).
+    progress_callback:
+        Optional callable invoked every ``progress_interval`` cycles with the
+        current cycle count; useful for long experiment sweeps.
+    """
+
+    def __init__(
+        self,
+        max_cycles: int = 10_000_000,
+        progress_callback: Optional[Callable[[int], None]] = None,
+        progress_interval: int = 100_000,
+    ) -> None:
+        if max_cycles <= 0:
+            raise ValueError("max_cycles must be positive")
+        self.max_cycles = int(max_cycles)
+        self.progress_callback = progress_callback
+        self.progress_interval = int(progress_interval)
+
+    def run(self, target: Steppable) -> int:
+        """Step ``target`` until it reports completion; return cycles used."""
+        cycles = 0
+        busy = True
+        while busy:
+            if cycles >= self.max_cycles:
+                raise SimulationLimitError(
+                    message="simulation exceeded its cycle budget",
+                    cycles=cycles,
+                    detail=f"max_cycles={self.max_cycles}",
+                )
+            busy = target.step()
+            cycles += 1
+            if (
+                self.progress_callback is not None
+                and cycles % self.progress_interval == 0
+            ):
+                self.progress_callback(cycles)
+        return cycles
+
+
+def run_to_completion(target: Steppable, max_cycles: int = 10_000_000) -> int:
+    """Convenience wrapper around :class:`CycleRunner` for one-off runs."""
+    return CycleRunner(max_cycles=max_cycles).run(target)

@@ -1,0 +1,131 @@
+"""Cycle-trace recording for debugging and visualising streaming behaviour.
+
+The cycle-level models expose their state through ordinary attributes;
+:class:`CycleTracer` samples a set of named probes once per cycle and stores
+the values, so a user can inspect how FIFO occupancies, outstanding request
+counts or accelerator progress evolve over a kernel — the Python equivalent
+of dumping a few waveform signals from the RTL.
+
+Example
+-------
+>>> tracer = CycleTracer()
+>>> tracer.add_probe("a_occupancy",
+...                  lambda: system.streamers["A"].channels[0].data_fifo.occupancy)
+>>> while not system.finished:
+...     system.step()
+...     tracer.sample()
+>>> tracer.as_columns()["a_occupancy"][:5]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+
+@dataclass
+class TraceProbe:
+    """One named signal sampled every cycle."""
+
+    name: str
+    sample: Callable[[], object]
+
+
+@dataclass
+class CycleTracer:
+    """Samples registered probes once per call to :meth:`sample`."""
+
+    probes: List[TraceProbe] = field(default_factory=list)
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    max_rows: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def add_probe(self, name: str, sample: Callable[[], object]) -> None:
+        """Register a probe; ``sample`` is called with no arguments."""
+        if any(probe.name == name for probe in self.probes):
+            raise ValueError(f"probe {name!r} already registered")
+        self.probes.append(TraceProbe(name=name, sample=sample))
+
+    def sample(self, cycle: Optional[int] = None) -> Dict[str, object]:
+        """Record one row of probe values (optionally tagged with a cycle)."""
+        row: Dict[str, object] = {}
+        if cycle is not None:
+            row["cycle"] = cycle
+        else:
+            row["cycle"] = len(self.rows)
+        for probe in self.probes:
+            row[probe.name] = probe.sample()
+        if self.max_rows is None or len(self.rows) < self.max_rows:
+            self.rows.append(row)
+        return row
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column(self, name: str) -> List[object]:
+        """All sampled values of one probe (or the cycle column)."""
+        if name != "cycle" and all(probe.name != name for probe in self.probes):
+            raise KeyError(f"unknown probe {name!r}")
+        return [row.get(name) for row in self.rows]
+
+    def as_columns(self) -> Dict[str, List[object]]:
+        names = ["cycle"] + [probe.name for probe in self.probes]
+        return {name: self.column(name) for name in names}
+
+    def clear(self) -> None:
+        self.rows.clear()
+
+    # ------------------------------------------------------------------
+    def to_csv(self, separator: str = ",") -> str:
+        """Render the trace as CSV text (header + one line per cycle)."""
+        names = ["cycle"] + [probe.name for probe in self.probes]
+        lines = [separator.join(names)]
+        for row in self.rows:
+            lines.append(separator.join(str(row.get(name, "")) for name in names))
+        return "\n".join(lines)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Min/max/mean per numeric probe (non-numeric probes are skipped)."""
+        stats: Dict[str, Dict[str, float]] = {}
+        for probe in self.probes:
+            values = [
+                float(v)
+                for v in self.column(probe.name)
+                if isinstance(v, (int, float)) and not isinstance(v, bool)
+            ]
+            if not values:
+                continue
+            stats[probe.name] = {
+                "min": min(values),
+                "max": max(values),
+                "mean": sum(values) / len(values),
+            }
+        return stats
+
+
+def trace_streamer_occupancy(system, ports: Sequence[str]) -> CycleTracer:
+    """Convenience: build a tracer over the data-FIFO occupancy of ``ports``.
+
+    ``system`` is an :class:`repro.system.system.AcceleratorSystem` with a
+    loaded program; one probe per (port, channel 0) plus the GeMM-core
+    progress is registered.
+    """
+    tracer = CycleTracer()
+    for port in ports:
+        streamer = system.streamers[port]
+
+        def occupancy_probe(target):
+            return lambda: target.channels[0].data_fifo.occupancy
+
+        def outstanding_probe(target):
+            return lambda: target.channels[0].outstanding
+
+        def words_probe(target):
+            return lambda: target.words_streamed
+
+        tracer.add_probe(f"{port}_ch0_data_occupancy", occupancy_probe(streamer))
+        tracer.add_probe(f"{port}_ch0_outstanding", outstanding_probe(streamer))
+        tracer.add_probe(f"{port}_words_streamed", words_probe(streamer))
+    tracer.add_probe("gemm_progress", lambda: round(system.gemm_core.progress, 4))
+    return tracer

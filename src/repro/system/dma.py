@@ -1,0 +1,81 @@
+"""DMA model: bulk tensor loads and explicit data-manipulation pre-passes.
+
+The evaluation system's DMA has two roles in the experiments:
+
+* loading the operand tensors into the scratchpad before a kernel launches —
+  identical for every architecture configuration, therefore *not* charged to
+  the kernel (neither cycles nor word accesses);
+* executing the explicit data-manipulation passes (software transpose,
+  software im2col, ...) that are required when the corresponding DataMaestro
+  feature is disabled — these *are* charged to the kernel, because they are
+  precisely the overhead the on-the-fly features eliminate.
+
+Functionally the transformed data is produced by the compiler and loaded via
+the scratchpad backdoor; the DMA accounts for the cost.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..compiler.programs import PrePass, TensorLoad
+from ..memory.subsystem import MemorySubsystem
+from ..utils.packing import ceil_div
+
+
+class Dma:
+    """Bulk data mover between external memory and the scratchpad."""
+
+    def __init__(self, memory: MemorySubsystem, words_per_cycle: int = 8) -> None:
+        if words_per_cycle <= 0:
+            raise ValueError("words_per_cycle must be positive")
+        self.memory = memory
+        self.words_per_cycle = int(words_per_cycle)
+        self.bytes_loaded = 0
+        self.load_cycles = 0
+        self.prepass_cycles = 0
+        self.prepass_reads = 0
+        self.prepass_writes = 0
+
+    # ------------------------------------------------------------------
+    # Initial tensor loads (uncounted towards kernel cost).
+    # ------------------------------------------------------------------
+    def load_tensor(self, load: TensorLoad) -> int:
+        """Place one tensor image into the scratchpad; return DMA cycles."""
+        self.memory.scratchpad.backdoor_write(
+            load.base_address, load.data, group_size=load.group_size
+        )
+        words = ceil_div(load.size_bytes, self.memory.geometry.bank_width_bytes)
+        cycles = ceil_div(words, self.words_per_cycle)
+        self.bytes_loaded += load.size_bytes
+        self.load_cycles += cycles
+        return cycles
+
+    def load_tensors(self, loads: Iterable[TensorLoad]) -> int:
+        return sum(self.load_tensor(load) for load in loads)
+
+    # ------------------------------------------------------------------
+    # Explicit pre-passes (counted towards kernel cost).
+    # ------------------------------------------------------------------
+    def execute_prepass(self, prepass: PrePass) -> int:
+        """Charge one pre-pass to the kernel; return its cycles."""
+        self.memory.add_uncounted_accesses(
+            reads=prepass.word_reads, writes=prepass.word_writes
+        )
+        self.prepass_cycles += prepass.cycles
+        self.prepass_reads += prepass.word_reads
+        self.prepass_writes += prepass.word_writes
+        return prepass.cycles
+
+    def execute_prepasses(self, prepasses: Iterable[PrePass]) -> int:
+        return sum(self.execute_prepass(prepass) for prepass in prepasses)
+
+    # ------------------------------------------------------------------
+    def statistics(self) -> dict:
+        return {
+            "bytes_loaded": self.bytes_loaded,
+            "load_cycles": self.load_cycles,
+            "prepass_cycles": self.prepass_cycles,
+            "prepass_reads": self.prepass_reads,
+            "prepass_writes": self.prepass_writes,
+        }

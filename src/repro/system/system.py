@@ -1,0 +1,261 @@
+"""The DataMaestro evaluation system: five streamers + GeMM + quantizer.
+
+:class:`AcceleratorSystem` instantiates the cycle-level models of every
+component in the paper's Figure 6 — the multi-banked scratchpad behind an
+interleaved crossbar, the five DataMaestros (ports A–E), the Tensor-Core-like
+GeMM accelerator, the quantization accelerator, the DMA and the host driver —
+and executes compiled :class:`~repro.compiler.programs.KernelProgram` objects
+on them.
+
+Per-cycle phase order (one call to :meth:`step`):
+
+1. streamers reset per-cycle state, the memory delivers matured responses and
+   every streamer drains them into its FIFOs;
+2. the quantizer then the GeMM core fire if their operands are valid and
+   their output sinks are ready;
+3. every streamer's AGU produces at most one address bundle (gated by the
+   prefetch mode);
+4. every channel's MIC issues at most one request, and the crossbar grants at
+   most one request per bank.
+
+The measured quantities follow the paper's definitions (see DESIGN.md §4):
+utilization is ideal compute cycles over kernel cycles (streaming plus any
+explicit pre-passes), and data access counts are scratchpad word accesses
+during the kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..accelerators.gemm_core import GemmCore
+from ..accelerators.quantizer import Quantizer
+from ..compiler.programs import KernelProgram
+from ..core.streamer import DataMaestro
+from ..memory.subsystem import MemorySubsystem
+from ..sim.result import SimulationLimitError, SimulationResult
+from .design import (
+    AcceleratorSystemDesign,
+    PORT_NAMES,
+    datamaestro_evaluation_system,
+    validate_port_widths,
+)
+from .dma import Dma
+from .host import HostProcessor
+
+
+class AcceleratorSystem:
+    """Executable cycle-level model of the evaluation platform."""
+
+    def __init__(self, design: Optional[AcceleratorSystemDesign] = None) -> None:
+        self.design = design or datamaestro_evaluation_system()
+        validate_port_widths(self.design)
+        self.memory: Optional[MemorySubsystem] = None
+        self.streamers: Dict[str, DataMaestro] = {}
+        self.gemm_core = GemmCore(
+            self.design.gemm_mu, self.design.gemm_nu, self.design.gemm_ku
+        )
+        self.quantizer = Quantizer(self.design.gemm_mu, self.design.gemm_nu)
+        self.dma: Optional[Dma] = None
+        self.host = HostProcessor(self.design)
+        self._active_ports: List[str] = []
+        self._program: Optional[KernelProgram] = None
+        self._cycles = 0
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # Construction / reset.
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Build fresh memory, streamers and accelerators for a new kernel."""
+        geometry = self.design.memory.geometry()
+        self.memory = MemorySubsystem(
+            geometry, read_latency=self.design.memory.read_latency
+        )
+        options = self.design.group_size_options()
+        self.streamers = {
+            name: DataMaestro(self.design.streamer(name), geometry, options)
+            for name in PORT_NAMES
+        }
+        self.gemm_core = GemmCore(
+            self.design.gemm_mu, self.design.gemm_nu, self.design.gemm_ku
+        )
+        self.quantizer = Quantizer(self.design.gemm_mu, self.design.gemm_nu)
+        self.dma = Dma(self.memory, self.design.dma_words_per_cycle)
+        self.host = HostProcessor(self.design)
+        self._active_ports = []
+        self._program = None
+        self._cycles = 0
+
+    # ------------------------------------------------------------------
+    # Program loading.
+    # ------------------------------------------------------------------
+    def load_program(self, program: KernelProgram) -> None:
+        """Reset the system, load tensors, run pre-passes and program CSRs."""
+        self.reset()
+        assert self.memory is not None and self.dma is not None
+        self._program = program
+
+        # 1. Initial tensor loads (identical for every configuration, not
+        #    charged to the kernel).
+        self.dma.load_tensors(program.tensor_loads)
+
+        # 2. Explicit data-manipulation pre-passes required by disabled
+        #    features (charged to the kernel).
+        self.dma.execute_prepasses(program.prepasses)
+
+        # 3. Program every used DataMaestro through its CSR interface.
+        features = program.features
+        self._active_ports = program.active_ports()
+        for port in self._active_ports:
+            self.host.program_streamer(
+                self.streamers[port], program.csr_writes[port], features
+            )
+
+        # 4. Bind and configure the accelerators.
+        c_stream = self.streamers["C"] if "C" in program.streamer_configs else None
+        if program.uses_quantizer:
+            sink = self.quantizer
+            self.quantizer.bind(self.streamers["E"])
+            self.quantizer.configure(program.quant_config)
+        else:
+            sink = self.streamers["D"]
+        self.gemm_core.bind(
+            a_stream=self.streamers["A"],
+            b_stream=self.streamers["B"],
+            output_sink=sink,
+            c_stream=c_stream,
+        )
+        self.gemm_core.configure(program.job)
+
+    # ------------------------------------------------------------------
+    # Cycle behaviour.
+    # ------------------------------------------------------------------
+    def _active_streamers(self) -> List[DataMaestro]:
+        return [self.streamers[port] for port in self._active_ports]
+
+    @property
+    def finished(self) -> bool:
+        """True once the kernel's compute and all its streams have drained."""
+        if self._program is None:
+            return True
+        if not self.gemm_core.done:
+            return False
+        if self._program.uses_quantizer and self.quantizer.busy:
+            return False
+        return all(streamer.done for streamer in self._active_streamers())
+
+    def step(self) -> bool:
+        """Advance the whole system by one clock cycle."""
+        if self._program is None:
+            return False
+        assert self.memory is not None
+        streamers = self._active_streamers()
+
+        # Phase 1: responses.
+        for streamer in streamers:
+            streamer.begin_cycle()
+        self.memory.deliver()
+        for streamer in streamers:
+            streamer.collect_responses(self.memory)
+
+        # Phase 2: accelerators (quantizer first so it drains the previous
+        # cycle's tile before the core produces a new one).
+        if self._program.uses_quantizer:
+            self.quantizer.step()
+        self.gemm_core.step()
+
+        # Phase 3: address generation.
+        for streamer in streamers:
+            streamer.generate_addresses()
+
+        # Phase 4: request issue and crossbar arbitration.
+        for streamer in streamers:
+            streamer.issue_requests(self.memory)
+        self.memory.step()
+
+        self._cycles += 1
+        return not self.finished
+
+    # ------------------------------------------------------------------
+    # Whole-kernel execution.
+    # ------------------------------------------------------------------
+    def run(
+        self, program: KernelProgram, max_cycles: int = 5_000_000
+    ) -> SimulationResult:
+        """Execute a compiled kernel and return its simulation result."""
+        self.load_program(program)
+        assert self.memory is not None and self.dma is not None
+        while not self.finished:
+            if self._cycles >= max_cycles:
+                raise SimulationLimitError(
+                    message=f"kernel {program.name!r} exceeded its cycle budget",
+                    cycles=self._cycles,
+                    detail=self._deadlock_report(),
+                )
+            self.step()
+
+        streamer_stats = {
+            port: self.streamers[port].statistics(self.memory)
+            for port in self._active_ports
+        }
+        counters = {
+            "gemm_mac_cycles": self.gemm_core.mac_cycles,
+            "gemm_stall_cycles": self.gemm_core.stall_cycles,
+            "quantizer_tiles": self.quantizer.tiles_processed,
+            "csr_writes": self.host.statistics()["csr_writes_issued"],
+            "dma_load_cycles": self.dma.load_cycles,
+        }
+        # Imported here (not at module level) to keep the compiler <-> system
+        # import graph acyclic: the mapper only needs the system *design*.
+        from ..compiler.mapper import extract_outputs
+
+        outputs = extract_outputs(program, self.memory)
+        result = SimulationResult(
+            workload_name=program.name,
+            ideal_compute_cycles=program.ideal_compute_cycles,
+            streaming_cycles=self._cycles,
+            prepass_cycles=program.prepass_cycles,
+            memory_reads=self.memory.total_reads,
+            memory_writes=self.memory.total_writes,
+            bank_conflicts=self.memory.total_conflicts,
+            streamer_stats=streamer_stats,
+            counters=counters,
+            outputs=outputs,
+            metadata={
+                "features": program.features.as_dict(),
+                "workload_group": program.workload.group.value,
+                "tiles": (
+                    program.job.tiles_m,
+                    program.job.tiles_n,
+                    program.job.tiles_k,
+                ),
+                "active_ports": list(self._active_ports),
+            },
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    def _deadlock_report(self) -> str:
+        """Short description of what is still pending (for error messages)."""
+        parts = [f"core tiles done={self.gemm_core.statistics()['tiles_completed']}"]
+        for port in self._active_ports:
+            streamer = self.streamers[port]
+            parts.append(
+                f"{port}: bundles={streamer.bundles_generated}/"
+                f"{streamer.agu.total_bundles if streamer.agu else 0} "
+                f"words={streamer.words_streamed} busy={streamer.busy}"
+            )
+        return "; ".join(parts)
+
+    def verify_outputs(self, result: SimulationResult) -> bool:
+        """Compare the simulated outputs against the program's numpy oracle."""
+        if self._program is None:
+            raise RuntimeError("no program has been run")
+        import numpy as np
+
+        for name, expected in self._program.expected_outputs.items():
+            actual = result.outputs.get(name)
+            if actual is None or not np.array_equal(actual, expected):
+                return False
+        return True

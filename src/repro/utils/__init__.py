@@ -1,0 +1,10 @@
+"""Small shared utilities (byte packing of tiles, integer helpers)."""
+
+from .packing import (
+    bytes_to_tile,
+    ceil_div,
+    pad_to_multiple,
+    tile_to_bytes,
+)
+
+__all__ = ["bytes_to_tile", "tile_to_bytes", "ceil_div", "pad_to_multiple"]

@@ -1,0 +1,58 @@
+"""Byte-level packing helpers shared by accelerators, compiler and tests.
+
+The streaming engines move raw bytes (``numpy.uint8`` vectors); the
+accelerator datapaths and the compiler's layout code interpret those bytes as
+typed tiles.  These helpers centralise the conversion so every component uses
+the same little-endian, row-major convention.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def tile_to_bytes(tile: np.ndarray) -> np.ndarray:
+    """Flatten a typed tile into its row-major little-endian byte image."""
+    array = np.ascontiguousarray(tile)
+    return array.view(np.uint8).reshape(-1).copy()
+
+
+def bytes_to_tile(
+    data: np.ndarray, shape: Sequence[int], dtype: np.dtype
+) -> np.ndarray:
+    """Reinterpret a byte vector as a typed row-major tile of ``shape``."""
+    dtype = np.dtype(dtype)
+    expected = int(np.prod(shape)) * dtype.itemsize
+    payload = np.ascontiguousarray(np.asarray(data, dtype=np.uint8)).reshape(-1)
+    if payload.size != expected:
+        raise ValueError(
+            f"byte buffer has {payload.size} bytes, expected {expected} for "
+            f"shape {tuple(shape)} of {dtype}"
+        )
+    return payload.view(dtype).reshape(tuple(shape)).copy()
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division."""
+    if denominator <= 0:
+        raise ValueError("denominator must be positive")
+    return -(-numerator // denominator)
+
+
+def pad_to_multiple(array: np.ndarray, multiples: Tuple[int, ...]) -> np.ndarray:
+    """Zero-pad each dimension of ``array`` up to a multiple of ``multiples``."""
+    if array.ndim != len(multiples):
+        raise ValueError(
+            f"array has {array.ndim} dimensions but {len(multiples)} multiples given"
+        )
+    pad_width = []
+    for size, multiple in zip(array.shape, multiples):
+        if multiple <= 0:
+            raise ValueError("padding multiples must be positive")
+        target = ceil_div(size, multiple) * multiple
+        pad_width.append((0, target - size))
+    if all(after == 0 for _, after in pad_width):
+        return array
+    return np.pad(array, pad_width, mode="constant")

@@ -1,0 +1,129 @@
+"""Unit tests for the quantization accelerator (rescale D32 -> E8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accelerators import QuantizationConfig, Quantizer, rescale_tile
+from repro.utils import bytes_to_tile, tile_to_bytes
+
+
+class CollectingSink:
+    def __init__(self):
+        self.words = []
+        self.ready = True
+
+    def input_ready(self):
+        return self.ready
+
+    def push_input(self, word):
+        self.words.append(np.asarray(word))
+
+
+class TestRescaleTile:
+    def test_identity_config(self):
+        tile = np.array([[1, -2], [100, -100]], dtype=np.int32)
+        out = rescale_tile(tile, QuantizationConfig())
+        assert np.array_equal(out, tile.astype(np.int8))
+
+    def test_shift_with_rounding(self):
+        tile = np.array([[7, 8, -7, -8]], dtype=np.int32)
+        out = rescale_tile(tile, QuantizationConfig(multiplier=1, shift=3))
+        # (x + 4) >> 3: round-half-up with an arithmetic (floor) shift, the
+        # usual fixed-point hardware behaviour.
+        assert list(out[0]) == [1, 1, -1, -1]
+
+    def test_saturation(self):
+        tile = np.array([[1000, -1000]], dtype=np.int32)
+        out = rescale_tile(tile, QuantizationConfig())
+        assert list(out[0]) == [127, -128]
+
+    def test_zero_point(self):
+        tile = np.array([[0, 10]], dtype=np.int32)
+        out = rescale_tile(tile, QuantizationConfig(zero_point=5))
+        assert list(out[0]) == [5, 15]
+
+    def test_per_channel_multiplier(self):
+        tile = np.array([[10, 10, 10]], dtype=np.int32)
+        config = QuantizationConfig(multiplier=np.array([1, 2, 3]), shift=0)
+        out = rescale_tile(tile, config)
+        assert list(out[0]) == [10, 20, 30]
+
+    def test_per_channel_size_mismatch(self):
+        tile = np.zeros((2, 4), dtype=np.int32)
+        with pytest.raises(ValueError):
+            rescale_tile(tile, QuantizationConfig(multiplier=np.array([1, 2])))
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            QuantizationConfig(shift=-1)
+        with pytest.raises(ValueError):
+            QuantizationConfig(shift=40)
+        with pytest.raises(ValueError):
+            QuantizationConfig(zero_point=300)
+
+    @given(
+        shift=st.integers(min_value=0, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_output_always_in_int8_range(self, shift, seed):
+        rng = np.random.default_rng(seed)
+        tile = rng.integers(-(2**20), 2**20, size=(4, 4)).astype(np.int32)
+        out = rescale_tile(tile, QuantizationConfig(multiplier=1, shift=shift))
+        assert out.dtype == np.int8
+        assert out.min() >= -128 and out.max() <= 127
+
+
+class TestQuantizerUnit:
+    def test_processes_tile_to_sink(self):
+        quantizer = Quantizer(rows=8, cols=8)
+        sink = CollectingSink()
+        quantizer.bind(sink)
+        quantizer.configure(QuantizationConfig(multiplier=1, shift=4))
+        tile = np.arange(64, dtype=np.int32).reshape(8, 8) * 16
+        quantizer.push_input(tile_to_bytes(tile))
+        assert quantizer.busy
+        assert quantizer.step()
+        assert not quantizer.busy
+        out = bytes_to_tile(sink.words[0], (8, 8), np.int8)
+        assert np.array_equal(out, rescale_tile(tile, quantizer.config))
+
+    def test_input_ready_respects_queue_depth(self):
+        quantizer = Quantizer(rows=8, cols=8, queue_depth=1)
+        quantizer.bind(CollectingSink())
+        tile = tile_to_bytes(np.zeros((8, 8), dtype=np.int32))
+        assert quantizer.input_ready()
+        quantizer.push_input(tile)
+        assert not quantizer.input_ready()
+        with pytest.raises(RuntimeError):
+            quantizer.push_input(tile)
+
+    def test_stalls_when_sink_not_ready(self):
+        quantizer = Quantizer()
+        sink = CollectingSink()
+        sink.ready = False
+        quantizer.bind(sink)
+        quantizer.push_input(tile_to_bytes(np.zeros((8, 8), dtype=np.int32)))
+        assert not quantizer.step()
+        assert quantizer.stall_cycles == 1
+        sink.ready = True
+        assert quantizer.step()
+        assert quantizer.tiles_processed == 1
+
+    def test_step_without_sink_raises(self):
+        quantizer = Quantizer()
+        quantizer.push_input(tile_to_bytes(np.zeros((8, 8), dtype=np.int32)))
+        with pytest.raises(RuntimeError):
+            quantizer.step()
+
+    def test_idle_step_is_noop(self):
+        quantizer = Quantizer()
+        quantizer.bind(CollectingSink())
+        assert not quantizer.step()
+        assert quantizer.statistics()["tiles_processed"] == 0
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Quantizer(rows=0)

@@ -1,0 +1,72 @@
+"""Tests for the design-space exploration sweeps."""
+
+import pytest
+
+from repro.analysis import (
+    best_point,
+    default_sweep_workload,
+    sweep_bank_count,
+    sweep_data_fifo_depth,
+    sweep_gima_group_size,
+)
+from repro.core import FeatureSet
+from repro.workloads import GemmWorkload
+
+SMALL_WORKLOAD = GemmWorkload(name="dse_small", m=32, n=32, k=64)
+
+
+class TestFifoDepthSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return sweep_data_fifo_depth(depths=(1, 2, 8), workload=SMALL_WORKLOAD)
+
+    def test_one_point_per_depth(self, points):
+        assert [p.value for p in points] == [1, 2, 8]
+        assert all(p.parameter == "data_fifo_depth" for p in points)
+
+    def test_deeper_fifos_do_not_hurt(self, points):
+        by_depth = {p.value: p for p in points}
+        assert by_depth[8].utilization >= by_depth[1].utilization
+        assert by_depth[8].kernel_cycles <= by_depth[1].kernel_cycles
+
+    def test_depth_8_is_near_peak(self, points):
+        by_depth = {p.value: p for p in points}
+        assert by_depth[8].utilization > 0.95
+
+    def test_as_dict(self, points):
+        record = points[0].as_dict()
+        assert set(record) >= {"parameter", "value", "utilization", "kernel_cycles"}
+
+
+class TestOtherSweeps:
+    def test_bank_count_sweep(self):
+        points = sweep_bank_count(bank_counts=(32, 64), workload=SMALL_WORKLOAD)
+        assert [p.value for p in points] == [32, 64]
+        assert all(p.utilization > 0.5 for p in points)
+
+    def test_gima_group_sweep(self):
+        points = sweep_gima_group_size(group_sizes=(16, 64), workload=SMALL_WORKLOAD)
+        assert [p.value for p in points] == [16, 64]
+        for point in points:
+            assert 0.0 < point.utilization <= 1.0
+
+    def test_default_sweep_workload(self):
+        workload = default_sweep_workload()
+        assert workload.m > 0 and workload.k > 0
+
+    def test_sweep_with_baseline_features(self):
+        points = sweep_data_fifo_depth(
+            depths=(8,), workload=SMALL_WORKLOAD, features=FeatureSet.all_disabled()
+        )
+        assert points[0].utilization < 0.7
+
+
+class TestBestPoint:
+    def test_selects_highest_utilization(self):
+        points = sweep_data_fifo_depth(depths=(1, 8), workload=SMALL_WORKLOAD)
+        best = best_point(points)
+        assert best.utilization == max(p.utilization for p in points)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            best_point([])

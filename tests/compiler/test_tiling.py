@@ -1,0 +1,153 @@
+"""Tests for the layer-tiling front end (scratchpad-resident tiles)."""
+
+import pytest
+
+from repro.compiler import compile_workload
+from repro.compiler.tiling import (
+    DEFAULT_TILE_BUDGET_BYTES,
+    TilingError,
+    conv_tile_footprint,
+    gemm_tile_footprint,
+    tile_convolution,
+    tile_gemm,
+    tile_workload,
+)
+from repro.system import AcceleratorSystem, datamaestro_evaluation_system
+from repro.workloads import ConvWorkload, GemmWorkload, vgg16
+
+DESIGN = datamaestro_evaluation_system()
+MU, NU, KU = 8, 8, 8
+
+
+class TestGemmTiling:
+    def test_small_layer_is_a_single_tile(self):
+        workload = GemmWorkload(name="tile_small", m=64, n=64, k=64)
+        plan = tile_gemm(workload)
+        assert plan.is_single_tile
+        assert plan.tiles[0].workload is workload
+
+    def test_large_layer_is_split_and_fits_budget(self):
+        workload = GemmWorkload(name="tile_big", m=512, n=512, k=512)
+        plan = tile_gemm(workload)
+        assert plan.num_tiles > 1
+        for tile in plan.workloads():
+            assert gemm_tile_footprint(tile.m, tile.n, tile.k) <= plan.budget_bytes
+
+    def test_ideal_cycles_are_preserved(self):
+        workload = GemmWorkload(name="tile_cycles", m=256, n=384, k=256)
+        plan = tile_gemm(workload)
+        assert plan.total_ideal_cycles(MU, NU, KU) == workload.ideal_compute_cycles(
+            MU, NU, KU
+        )
+
+    def test_bert_ffn_layer_tiles(self):
+        workload = GemmWorkload(name="tile_ffn", m=128, n=3072, k=768)
+        plan = tile_gemm(workload)
+        assert plan.num_tiles > 1
+        assert plan.total_ideal_cycles(MU, NU, KU) == workload.ideal_compute_cycles(
+            MU, NU, KU
+        )
+
+    def test_k_split_marks_accumulation_passes(self):
+        workload = GemmWorkload(name="tile_ksplit", m=64, n=64, k=8192)
+        plan = tile_gemm(workload)
+        assert plan.requires_accumulation()
+        first_pass = [t for t in plan.tiles if t.accumulation_pass == 0]
+        later_pass = [t for t in plan.tiles if t.accumulation_pass > 0]
+        assert all(t.workload.with_bias for t in first_pass)
+        assert not any(t.workload.with_bias for t in later_pass)
+
+    def test_k_split_can_be_disallowed(self):
+        workload = GemmWorkload(name="tile_nok", m=8, n=8, k=1 << 17)
+        with pytest.raises(TilingError):
+            tile_gemm(workload, allow_k_split=False)
+
+    def test_offsets_cover_the_output(self):
+        workload = GemmWorkload(name="tile_cover", m=256, n=256, k=128)
+        plan = tile_gemm(workload)
+        covered_rows = {
+            (t.row_offset, t.row_offset + t.workload.m) for t in plan.tiles
+        }
+        assert min(start for start, _ in covered_rows) == 0
+        assert max(end for _, end in covered_rows) == workload.m
+
+    def test_tiles_are_simulatable(self):
+        """Every tile of a big layer compiles and runs on the real system."""
+        workload = GemmWorkload(name="tile_sim", m=256, n=256, k=256)
+        plan = tile_gemm(workload)
+        system = AcceleratorSystem(DESIGN)
+        tile = plan.workloads()[0]
+        program = compile_workload(tile, DESIGN)
+        result = system.run(program)
+        assert result.utilization > 0.9
+
+
+class TestConvTiling:
+    def test_small_layer_single_tile(self):
+        workload = ConvWorkload(
+            name="ctile_small",
+            in_height=14,
+            in_width=14,
+            in_channels=16,
+            out_channels=32,
+            kernel_h=3,
+            kernel_w=3,
+            padding=1,
+        )
+        assert tile_convolution(workload).is_single_tile
+
+    def test_vgg_layer_is_split_and_fits_budget(self):
+        layer = vgg16().layers[3].workload  # 112x112x128 -> 128, 3x3
+        plan = tile_convolution(layer)
+        assert plan.num_tiles > 1
+        for tile in plan.workloads():
+            assert conv_tile_footprint(tile) <= plan.budget_bytes
+            assert tile.kernel_h == layer.kernel_h
+            assert tile.stride == layer.stride
+
+    def test_output_rows_covered(self):
+        layer = ConvWorkload(
+            name="ctile_rows",
+            in_height=64,
+            in_width=64,
+            in_channels=64,
+            out_channels=64,
+            kernel_h=3,
+            kernel_w=3,
+            padding=1,
+        )
+        plan = tile_convolution(layer)
+        rows = sorted({t.row_offset for t in plan.tiles})
+        assert rows[0] == 0
+        total_rows = sum(
+            t.workload.out_height for t in plan.tiles if t.col_offset == 0
+        )
+        assert total_rows >= layer.out_height
+
+    def test_channel_split_covers_all_channels(self):
+        layer = ConvWorkload(
+            name="ctile_ch",
+            in_height=28,
+            in_width=28,
+            in_channels=256,
+            out_channels=512,
+            kernel_h=3,
+            kernel_w=3,
+            padding=1,
+        )
+        plan = tile_convolution(layer)
+        first_row_tiles = [t for t in plan.tiles if t.row_offset == 0]
+        assert sum(t.workload.out_channels for t in first_row_tiles) == 512
+
+
+class TestDispatch:
+    def test_dispatch(self):
+        assert tile_workload(GemmWorkload(name="d", m=8, n=8, k=8)).is_single_tile
+        with pytest.raises(TypeError):
+            tile_workload(3.14)
+
+    def test_budget_parameter_respected(self):
+        workload = GemmWorkload(name="tb", m=128, n=128, k=128)
+        tight = tile_workload(workload, budget_bytes=32 * 1024)
+        loose = tile_workload(workload, budget_bytes=DEFAULT_TILE_BUDGET_BYTES)
+        assert tight.num_tiles > loose.num_tiles

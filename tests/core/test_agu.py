@@ -1,0 +1,207 @@
+"""Tests for the N-D affine address generation unit (paper §III-B, Fig. 4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AddressGenerationUnit,
+    SpatialAddressGenerator,
+    TemporalAddressGenerator,
+    reference_address_sequence,
+    reference_temporal_addresses,
+)
+
+
+class TestTemporalAGU:
+    def test_single_dimension_sequence(self):
+        agu = TemporalAddressGenerator(bounds=[4], strides=[8], base_address=100)
+        addresses = []
+        while not agu.exhausted:
+            addresses.append(agu.current_address())
+            agu.advance()
+        assert addresses == [100, 108, 116, 124]
+
+    def test_zero_stride_dimension_repeats(self):
+        agu = TemporalAddressGenerator(bounds=[2, 3], strides=[4, 0])
+        addresses = []
+        while not agu.exhausted:
+            addresses.append(agu.current_address())
+            agu.advance()
+        assert addresses == [0, 4, 0, 4, 0, 4]
+
+    def test_total_iterations(self):
+        agu = TemporalAddressGenerator(bounds=[2, 3, 4], strides=[1, 10, 100])
+        assert agu.total_iterations == 24
+
+    def test_reset(self):
+        agu = TemporalAddressGenerator(bounds=[2], strides=[4])
+        agu.advance()
+        agu.advance()
+        assert agu.exhausted
+        agu.reset()
+        assert not agu.exhausted
+        assert agu.current_address() == 0
+
+    def test_advance_past_end_raises(self):
+        agu = TemporalAddressGenerator(bounds=[1], strides=[4])
+        agu.advance()
+        with pytest.raises(RuntimeError):
+            agu.advance()
+
+    def test_indices_track_loop_variables(self):
+        agu = TemporalAddressGenerator(bounds=[2, 2], strides=[1, 10])
+        seen = []
+        while not agu.exhausted:
+            seen.append(agu.current_indices())
+            agu.advance()
+        assert seen == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    @pytest.mark.parametrize(
+        "bounds,strides",
+        [([], []), ([2], [1, 2]), ([0], [1]), ([-1], [1])],
+    )
+    def test_invalid_configuration_rejected(self, bounds, strides):
+        with pytest.raises(ValueError):
+            TemporalAddressGenerator(bounds=bounds, strides=strides)
+
+
+class TestSpatialAGU:
+    def test_one_dimensional_offsets(self):
+        spatial = SpatialAddressGenerator(bounds=[4], strides=[8])
+        assert spatial.offsets == (0, 8, 16, 24)
+
+    def test_two_dimensional_offsets_innermost_first(self):
+        spatial = SpatialAddressGenerator(bounds=[2, 3], strides=[1, 10])
+        assert spatial.offsets == (0, 1, 10, 11, 20, 21)
+
+    def test_expand_adds_temporal_address(self):
+        spatial = SpatialAddressGenerator(bounds=[2], strides=[4])
+        assert spatial.expand(100) == (100, 104)
+
+    def test_expand_with_reduced_channel_count(self):
+        spatial = SpatialAddressGenerator(bounds=[4], strides=[8])
+        assert spatial.expand(0, count=2) == (0, 8)
+        assert spatial.expand(0, count=4) == (0, 8, 16, 24)
+        assert spatial.expand(0, count=0) == (0, 8, 16, 24)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            SpatialAddressGenerator(bounds=[], strides=[])
+        with pytest.raises(ValueError):
+            SpatialAddressGenerator(bounds=[2], strides=[1, 2])
+
+
+class TestFigure4Example:
+    """The exact example of Fig. 4: 4x4x4 GeMM on a 2x2x2 PE array."""
+
+    def make_agu(self):
+        # Dt=3: Bt=[2,2,2], St=[4,0,8]; Ds=2: Bs=[2,2], Ss=[1,2].
+        return AddressGenerationUnit(
+            temporal_bounds=[2, 2, 2],
+            temporal_strides=[4, 0, 8],
+            spatial_bounds=[2, 2],
+            spatial_strides=[1, 2],
+            base_address=0,
+        )
+
+    def test_temporal_addresses_match_figure(self):
+        agu = self.make_agu()
+        temporal = [bundle.temporal_address for bundle in agu.iter_bundles()]
+        assert temporal == [0, 4, 0, 4, 8, 12, 8, 12]
+
+    def test_spatial_addresses_match_figure(self):
+        agu = self.make_agu()
+        bundles = list(agu.iter_bundles())
+        # Figure 4 (c): per clock cycle the four spatial addresses SA0..SA3.
+        expected = [
+            (0, 1, 2, 3),
+            (4, 5, 6, 7),
+            (0, 1, 2, 3),
+            (4, 5, 6, 7),
+            (8, 9, 10, 11),
+            (12, 13, 14, 15),
+            (8, 9, 10, 11),
+            (12, 13, 14, 15),
+        ]
+        assert [bundle.addresses for bundle in bundles] == expected
+
+    def test_bundle_metadata(self):
+        agu = self.make_agu()
+        bundles = list(agu.iter_bundles())
+        assert len(bundles) == 8
+        assert bundles[0].step == 0
+        assert bundles[-1].last
+        assert not bundles[0].last
+        assert agu.exhausted
+
+
+class TestAGUProperties:
+    temporal_dims = st.integers(min_value=1, max_value=4)
+
+    @given(
+        data=st.data(),
+        base=st.integers(min_value=0, max_value=1 << 20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_dual_counter_matches_multiplication_reference(self, data, base):
+        """The accumulator-based AGU equals base + Σ stride*index."""
+        dims = data.draw(st.integers(min_value=1, max_value=4))
+        bounds = data.draw(
+            st.lists(st.integers(min_value=1, max_value=5), min_size=dims, max_size=dims)
+        )
+        strides = data.draw(
+            st.lists(st.integers(min_value=0, max_value=256), min_size=dims, max_size=dims)
+        )
+        agu = TemporalAddressGenerator(bounds=bounds, strides=strides, base_address=base)
+        produced = []
+        while not agu.exhausted:
+            produced.append(agu.current_address())
+            agu.advance()
+        assert produced == reference_temporal_addresses(bounds, strides, base)
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_full_agu_matches_reference_sequence(self, data):
+        t_dims = data.draw(st.integers(min_value=1, max_value=3))
+        s_dims = data.draw(st.integers(min_value=1, max_value=2))
+        t_bounds = data.draw(
+            st.lists(st.integers(min_value=1, max_value=4), min_size=t_dims, max_size=t_dims)
+        )
+        t_strides = data.draw(
+            st.lists(st.integers(min_value=0, max_value=64), min_size=t_dims, max_size=t_dims)
+        )
+        s_bounds = data.draw(
+            st.lists(st.integers(min_value=1, max_value=4), min_size=s_dims, max_size=s_dims)
+        )
+        s_strides = data.draw(
+            st.lists(st.integers(min_value=0, max_value=64), min_size=s_dims, max_size=s_dims)
+        )
+        agu = AddressGenerationUnit(
+            temporal_bounds=t_bounds,
+            temporal_strides=t_strides,
+            spatial_bounds=s_bounds,
+            spatial_strides=s_strides,
+        )
+        produced = [bundle.addresses for bundle in agu.iter_bundles()]
+        expected = reference_address_sequence(
+            t_bounds, t_strides, s_bounds, s_strides
+        )
+        assert produced == expected
+
+    @given(
+        bounds=st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_number_of_bundles_equals_product_of_bounds(self, bounds):
+        agu = AddressGenerationUnit(
+            temporal_bounds=bounds,
+            temporal_strides=[1] * len(bounds),
+            spatial_bounds=[2],
+            spatial_strides=[1],
+        )
+        bundles = list(agu.iter_bundles())
+        expected = 1
+        for bound in bounds:
+            expected *= bound
+        assert len(bundles) == expected

@@ -1,0 +1,284 @@
+"""Streamer-level tests: wide-word streaming, prefetch mode, extensions."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DataMaestro,
+    ExtensionSpec,
+    StreamerDesign,
+    StreamerMode,
+    StreamerRuntimeConfig,
+    reference_address_sequence,
+)
+from repro.memory import BankGeometry, MemorySubsystem
+
+GEOMETRY = BankGeometry(num_banks=8, bank_width_bytes=8, bank_depth=64)
+
+
+def read_design(name="dm_r", extensions=(), data_depth=8):
+    return StreamerDesign(
+        name=name,
+        mode=StreamerMode.READ,
+        num_channels=2,
+        spatial_bounds=(2,),
+        temporal_dims=3,
+        bank_width_bits=64,
+        address_buffer_depth=8,
+        data_buffer_depth=data_depth,
+        extensions=tuple(extensions),
+    )
+
+
+def write_design(name="dm_w"):
+    return StreamerDesign(
+        name=name,
+        mode=StreamerMode.WRITE,
+        num_channels=2,
+        spatial_bounds=(2,),
+        temporal_dims=2,
+        bank_width_bits=64,
+        address_buffer_depth=8,
+        data_buffer_depth=4,
+    )
+
+
+def linear_runtime(steps=8, group_size=8, **overrides):
+    params = dict(
+        base_address=0,
+        temporal_bounds=(steps,),
+        temporal_strides=(16,),
+        spatial_strides=(8,),
+        bank_group_size=group_size,
+    )
+    params.update(overrides)
+    return StreamerRuntimeConfig(**params)
+
+
+def fill_memory(memory, num_bytes=1024, group_size=8):
+    data = (np.arange(num_bytes, dtype=np.int64) % 251).astype(np.uint8)
+    memory.scratchpad.backdoor_write(0, data, group_size=group_size)
+    return data
+
+
+def drain_read_streamer(streamer, memory, max_cycles=5000):
+    """Mimic the system loop for a single read streamer; collect all words."""
+    words = []
+    cycles = 0
+    while not streamer.done:
+        if cycles > max_cycles:
+            raise AssertionError("streamer did not finish (possible deadlock)")
+        streamer.begin_cycle()
+        memory.deliver()
+        streamer.collect_responses(memory)
+        if streamer.output_valid():
+            words.append(streamer.pop_output())
+        streamer.generate_addresses()
+        streamer.issue_requests(memory)
+        memory.step()
+        cycles += 1
+    return words, cycles
+
+
+def drive_write_streamer(streamer, memory, words, max_cycles=5000):
+    cycles = 0
+    pushed = 0
+    while not (streamer.done and pushed == len(words)):
+        if cycles > max_cycles:
+            raise AssertionError("write streamer did not finish")
+        streamer.begin_cycle()
+        memory.deliver()
+        streamer.collect_responses(memory)
+        if pushed < len(words) and streamer.input_ready():
+            streamer.push_input(words[pushed])
+            pushed += 1
+        streamer.generate_addresses()
+        streamer.issue_requests(memory)
+        memory.step()
+        cycles += 1
+    return cycles
+
+
+class TestReadStreaming:
+    def test_streams_expected_data(self):
+        memory = MemorySubsystem(GEOMETRY)
+        data = fill_memory(memory)
+        streamer = DataMaestro(read_design(), GEOMETRY, [8, 2, 1])
+        runtime = linear_runtime(steps=8)
+        streamer.configure(runtime)
+        words, _ = drain_read_streamer(streamer, memory)
+        assert len(words) == 8
+        expected_addresses = reference_address_sequence(
+            runtime.temporal_bounds,
+            runtime.temporal_strides,
+            (2,),
+            runtime.spatial_strides,
+        )
+        for word, addresses in zip(words, expected_addresses):
+            expected = np.concatenate([data[a : a + 8] for a in addresses])
+            assert np.array_equal(word, expected)
+
+    def test_streaming_under_non_interleaved_mode(self):
+        memory = MemorySubsystem(GEOMETRY)
+        data = (np.arange(512, dtype=np.int64) % 253).astype(np.uint8)
+        memory.scratchpad.backdoor_write(0, data, group_size=1)
+        streamer = DataMaestro(read_design(), GEOMETRY, [8, 2, 1])
+        runtime = linear_runtime(steps=4, group_size=1)
+        streamer.configure(runtime)
+        words, _ = drain_read_streamer(streamer, memory)
+        flat = np.concatenate(words)
+        assert np.array_equal(flat, data[:64])
+
+    def test_words_streamed_counter(self):
+        memory = MemorySubsystem(GEOMETRY)
+        fill_memory(memory)
+        streamer = DataMaestro(read_design(), GEOMETRY, [8])
+        streamer.configure(linear_runtime(steps=5))
+        words, _ = drain_read_streamer(streamer, memory)
+        assert streamer.words_streamed == 5
+        assert streamer.bundles_generated == 5
+
+    def test_prefetch_hides_latency(self):
+        """With prefetch the streamer is much faster than without."""
+        steps = 32
+
+        def run(prefetch):
+            memory = MemorySubsystem(GEOMETRY)
+            fill_memory(memory)
+            streamer = DataMaestro(read_design(), GEOMETRY, [8])
+            streamer.configure(linear_runtime(steps=steps), prefetch_enabled=prefetch)
+            _, cycles = drain_read_streamer(streamer, memory)
+            return cycles
+
+        cycles_with = run(True)
+        cycles_without = run(False)
+        # Prefetch pipelines request issue and data return; without it every
+        # word pays the full round trip.
+        assert cycles_without >= 2 * steps
+        assert cycles_with <= steps + 10
+        assert cycles_without > cycles_with
+
+    def test_pop_without_valid_raises(self):
+        streamer = DataMaestro(read_design(), GEOMETRY, [8])
+        streamer.configure(linear_runtime(steps=1))
+        with pytest.raises(RuntimeError):
+            streamer.pop_output()
+
+    def test_statistics_report(self):
+        memory = MemorySubsystem(GEOMETRY)
+        fill_memory(memory)
+        streamer = DataMaestro(read_design(), GEOMETRY, [8])
+        streamer.configure(linear_runtime(steps=4))
+        drain_read_streamer(streamer, memory)
+        stats = streamer.statistics(memory)
+        assert stats.words_streamed == 4
+        assert stats.requests_issued == 8  # 2 channels x 4 steps
+        assert stats.requests_granted == 8
+
+
+class TestExtensionsInStreamer:
+    def test_transposer_applied_to_output(self):
+        memory = MemorySubsystem(GEOMETRY)
+        data = fill_memory(memory)
+        design = read_design(
+            extensions=[ExtensionSpec.make("transposer", rows=4, cols=4, element_bytes=1)]
+        )
+        streamer = DataMaestro(design, GEOMETRY, [8])
+        runtime = linear_runtime(
+            steps=2,
+            extension_enables=(True,),
+            extension_params=(("transposer", (("rows", 4), ("cols", 4), ("element_bytes", 1))),),
+        )
+        streamer.configure(runtime)
+        words, _ = drain_read_streamer(streamer, memory)
+        raw = np.concatenate([data[0:8], data[8:16]])
+        expected = raw.reshape(4, 4).T.reshape(-1)
+        assert np.array_equal(words[0], expected)
+
+    def test_transposer_bypass(self):
+        memory = MemorySubsystem(GEOMETRY)
+        data = fill_memory(memory)
+        design = read_design(
+            extensions=[ExtensionSpec.make("transposer", rows=4, cols=4, element_bytes=1)]
+        )
+        streamer = DataMaestro(design, GEOMETRY, [8])
+        runtime = linear_runtime(steps=1, extension_enables=(False,))
+        streamer.configure(runtime)
+        words, _ = drain_read_streamer(streamer, memory)
+        assert np.array_equal(words[0], np.concatenate([data[0:8], data[8:16]]))
+
+    def test_broadcaster_reduces_fetches_and_expands_word(self):
+        memory = MemorySubsystem(GEOMETRY)
+        data = fill_memory(memory)
+        design = read_design(extensions=[ExtensionSpec.make("broadcaster", factor=2)])
+        streamer = DataMaestro(design, GEOMETRY, [8])
+        runtime = linear_runtime(
+            steps=4,
+            active_channels=1,
+            extension_enables=(True,),
+            extension_params=(("broadcaster", (("factor", 2),)),),
+        )
+        streamer.configure(runtime)
+        words, _ = drain_read_streamer(streamer, memory)
+        # Only one channel fetches (4 requests total), but the accelerator
+        # still receives full 16-byte words.
+        assert streamer.statistics(memory).requests_issued == 4
+        for step, word in enumerate(words):
+            narrow = data[step * 16 : step * 16 + 8]
+            assert np.array_equal(word, np.tile(narrow, 2))
+
+
+class TestWriteStreaming:
+    def test_written_data_lands_in_memory(self):
+        memory = MemorySubsystem(GEOMETRY)
+        streamer = DataMaestro(write_design(), GEOMETRY, [8])
+        runtime = linear_runtime(steps=4)
+        streamer.configure(runtime)
+        words = [np.full(16, value, dtype=np.uint8) for value in (1, 2, 3, 4)]
+        drive_write_streamer(streamer, memory, words)
+        for step, word in enumerate(words):
+            stored = memory.scratchpad.backdoor_read(step * 16, 16, group_size=8)
+            assert np.array_equal(stored, word)
+
+    def test_push_wrong_size_raises(self):
+        memory = MemorySubsystem(GEOMETRY)
+        streamer = DataMaestro(write_design(), GEOMETRY, [8])
+        streamer.configure(linear_runtime(steps=1))
+        streamer.generate_addresses()
+        with pytest.raises(ValueError):
+            streamer.push_input(np.zeros(10, dtype=np.uint8))
+
+    def test_push_when_not_ready_raises(self):
+        streamer = DataMaestro(write_design(), GEOMETRY, [8])
+        # Not configured yet -> never ready.
+        with pytest.raises(RuntimeError):
+            streamer.push_input(np.zeros(16, dtype=np.uint8))
+
+
+class TestConfiguration:
+    def test_configure_validates_against_design(self):
+        streamer = DataMaestro(read_design(), GEOMETRY, [8])
+        bad_runtime = linear_runtime(spatial_strides=(8, 8))
+        with pytest.raises(ValueError):
+            streamer.configure(bad_runtime)
+
+    def test_unavailable_group_size_rejected(self):
+        streamer = DataMaestro(read_design(), GEOMETRY, [8])
+        with pytest.raises(ValueError):
+            streamer.configure(linear_runtime(group_size=4))
+
+    def test_reconfiguration_resets_state(self):
+        memory = MemorySubsystem(GEOMETRY)
+        fill_memory(memory)
+        streamer = DataMaestro(read_design(), GEOMETRY, [8])
+        streamer.configure(linear_runtime(steps=2))
+        drain_read_streamer(streamer, memory)
+        streamer.configure(linear_runtime(steps=3))
+        assert streamer.words_streamed == 0
+        words, _ = drain_read_streamer(streamer, memory)
+        assert len(words) == 3
+
+    def test_unconfigured_streamer_is_not_busy(self):
+        streamer = DataMaestro(read_design(), GEOMETRY, [8])
+        assert not streamer.busy
+        assert not streamer.configured

@@ -1,0 +1,180 @@
+"""Tests for crossbar arbitration, latency, conflicts and ordering."""
+
+import numpy as np
+import pytest
+
+from repro.memory import BankGeometry, MemoryRequest, MemorySubsystem
+
+GEOMETRY = BankGeometry(num_banks=4, bank_width_bytes=8, bank_depth=8)
+
+
+def make_subsystem(latency=1):
+    return MemorySubsystem(GEOMETRY, read_latency=latency)
+
+
+def read_request(requester, bank, line=0, tag=None):
+    return MemoryRequest(requester=requester, is_write=False, bank=bank, line=line, tag=tag)
+
+
+def write_request(requester, bank, line, value):
+    data = np.full(8, value, dtype=np.uint8)
+    return MemoryRequest(requester=requester, is_write=True, bank=bank, line=line, data=data)
+
+
+def run_cycles(memory, cycles):
+    for _ in range(cycles):
+        memory.deliver()
+        memory.step()
+
+
+class TestBasicTiming:
+    def test_read_response_after_latency(self):
+        memory = make_subsystem(latency=1)
+        memory.scratchpad.backdoor_write(0, np.arange(8, dtype=np.uint8), group_size=4)
+        memory.submit(read_request("ch0", bank=0, line=0, tag=42))
+        # Cycle 0: arbitrate/grant.
+        memory.deliver()
+        assert memory.collect_responses("ch0") == []
+        memory.step()
+        # Cycle 1: response matured.
+        memory.deliver()
+        responses = memory.collect_responses("ch0")
+        assert len(responses) == 1
+        assert responses[0].tag == 42
+        assert np.array_equal(responses[0].data, np.arange(8, dtype=np.uint8))
+
+    def test_longer_latency(self):
+        memory = make_subsystem(latency=3)
+        memory.submit(read_request("ch0", bank=1))
+        collected = []
+        for cycle in range(5):
+            memory.deliver()
+            collected.extend((cycle, r) for r in memory.collect_responses("ch0"))
+            memory.step()
+        assert len(collected) == 1
+        assert collected[0][0] == 3
+
+    def test_write_commits_and_acknowledges(self):
+        memory = make_subsystem()
+        memory.submit(write_request("ch0", bank=2, line=3, value=7))
+        run_cycles(memory, 2)
+        memory.deliver()
+        stored = memory.scratchpad.read_word(2, 3)
+        assert np.array_equal(stored, np.full(8, 7, dtype=np.uint8))
+        assert memory.total_writes == 1
+
+    def test_invalid_latency_rejected(self):
+        with pytest.raises(ValueError):
+            MemorySubsystem(GEOMETRY, read_latency=0)
+
+    def test_invalid_bank_rejected(self):
+        memory = make_subsystem()
+        with pytest.raises(ValueError):
+            memory.submit(read_request("ch0", bank=99))
+
+
+class TestArbitration:
+    def test_no_conflict_for_distinct_banks(self):
+        memory = make_subsystem()
+        memory.submit(read_request("a", bank=0))
+        memory.submit(read_request("b", bank=1))
+        memory.deliver()
+        memory.step()
+        assert memory.total_conflicts == 0
+        assert memory.total_reads == 2
+
+    def test_same_bank_conflict_serializes(self):
+        memory = make_subsystem()
+        memory.submit(read_request("a", bank=0))
+        memory.submit(read_request("b", bank=0))
+        memory.deliver()
+        memory.step()
+        # Only one of the two was granted this cycle.
+        assert memory.total_reads == 1
+        assert memory.total_conflicts == 1
+        memory.deliver()
+        memory.step()
+        assert memory.total_reads == 2
+
+    def test_round_robin_fairness(self):
+        """Two requesters fighting over one bank get alternating grants."""
+        memory = make_subsystem()
+        for _ in range(6):
+            memory.submit(read_request("a", bank=0))
+            memory.submit(read_request("b", bank=0))
+        grant_order = []
+        for _ in range(12):
+            before_a = memory.requester_stats("a")["granted"]
+            before_b = memory.requester_stats("b")["granted"]
+            memory.deliver()
+            memory.step()
+            if memory.requester_stats("a")["granted"] > before_a:
+                grant_order.append("a")
+            if memory.requester_stats("b")["granted"] > before_b:
+                grant_order.append("b")
+        assert grant_order.count("a") == 6
+        assert grant_order.count("b") == 6
+        # No requester is granted twice in a row while the other waits.
+        assert all(grant_order[i] != grant_order[i + 1] for i in range(10))
+
+    def test_per_requester_ordering_preserved(self):
+        """A requester's responses arrive in submission order."""
+        memory = make_subsystem()
+        for line in range(4):
+            memory.scratchpad.backdoor_write(
+                line * 4 * 8, np.full(8, line, dtype=np.uint8), group_size=4
+            )
+        for line in range(4):
+            memory.submit(read_request("ch0", bank=0, line=line, tag=line))
+        tags = []
+        for _ in range(10):
+            memory.deliver()
+            tags.extend(r.tag for r in memory.collect_responses("ch0"))
+            memory.step()
+        assert tags == [0, 1, 2, 3]
+
+    def test_outstanding_and_pending_counts(self):
+        memory = make_subsystem()
+        memory.submit(read_request("a", bank=0))
+        memory.submit(read_request("a", bank=0))
+        assert memory.pending_count("a") == 2
+        assert memory.outstanding_count("a") == 2
+        memory.deliver()
+        memory.step()
+        assert memory.pending_count("a") == 1
+        assert memory.outstanding_count("a") == 2
+        run_cycles(memory, 3)
+        memory.deliver()
+        memory.collect_responses("a")
+        assert memory.outstanding_count("a") == 0
+
+    def test_idle_detection(self):
+        memory = make_subsystem()
+        assert memory.idle()
+        memory.submit(read_request("a", bank=0))
+        assert not memory.idle()
+        run_cycles(memory, 3)
+        memory.deliver()
+        memory.collect_responses("a")
+        assert memory.idle()
+
+
+class TestDmaAccounting:
+    def test_uncounted_access_hook(self):
+        memory = make_subsystem()
+        memory.add_uncounted_accesses(reads=10, writes=5)
+        assert memory.total_reads == 10
+        assert memory.total_writes == 5
+        assert memory.counters.get("dma_word_reads") == 10
+
+    def test_reset_statistics_keeps_contents(self):
+        memory = make_subsystem()
+        memory.scratchpad.backdoor_write(0, np.arange(8, dtype=np.uint8), group_size=4)
+        memory.submit(read_request("a", bank=0))
+        run_cycles(memory, 2)
+        memory.reset_statistics()
+        assert memory.total_reads == 0
+        assert np.array_equal(
+            memory.scratchpad.backdoor_read(0, 8, group_size=4),
+            np.arange(8, dtype=np.uint8),
+        )

@@ -1,0 +1,52 @@
+"""Tests for the cycle-loop runner."""
+
+import pytest
+
+from repro.sim import CycleRunner, SimulationLimitError, run_to_completion
+
+
+class CountdownTarget:
+    """Steppable test double that finishes after a fixed number of cycles."""
+
+    def __init__(self, cycles):
+        self.remaining = cycles
+        self.stepped = 0
+
+    def step(self):
+        self.stepped += 1
+        self.remaining -= 1
+        return self.remaining > 0
+
+
+class NeverFinishes:
+    def step(self):
+        return True
+
+
+class TestCycleRunner:
+    def test_runs_to_completion_and_counts_cycles(self):
+        target = CountdownTarget(17)
+        cycles = CycleRunner(max_cycles=100).run(target)
+        assert cycles == 17
+        assert target.stepped == 17
+
+    def test_single_cycle_target(self):
+        assert run_to_completion(CountdownTarget(1)) == 1
+
+    def test_exceeding_budget_raises(self):
+        with pytest.raises(SimulationLimitError):
+            CycleRunner(max_cycles=10).run(NeverFinishes())
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            CycleRunner(max_cycles=0)
+
+    def test_progress_callback_invoked(self):
+        seen = []
+        runner = CycleRunner(
+            max_cycles=100,
+            progress_callback=seen.append,
+            progress_interval=10,
+        )
+        runner.run(CountdownTarget(35))
+        assert seen == [10, 20, 30]

@@ -1,0 +1,95 @@
+"""Tests for the cycle-trace recorder."""
+
+import pytest
+
+from repro.compiler import compile_workload
+from repro.sim.trace import CycleTracer, trace_streamer_occupancy
+from repro.system import AcceleratorSystem, datamaestro_evaluation_system
+from repro.workloads import GemmWorkload
+
+
+class TestCycleTracer:
+    def test_sampling_and_columns(self):
+        tracer = CycleTracer()
+        counter = {"value": 0}
+        tracer.add_probe("value", lambda: counter["value"])
+        for _ in range(5):
+            counter["value"] += 2
+            tracer.sample()
+        assert len(tracer) == 5
+        assert tracer.column("value") == [2, 4, 6, 8, 10]
+        assert tracer.column("cycle") == [0, 1, 2, 3, 4]
+        assert set(tracer.as_columns()) == {"cycle", "value"}
+
+    def test_explicit_cycle_tag(self):
+        tracer = CycleTracer()
+        tracer.add_probe("x", lambda: 1)
+        tracer.sample(cycle=42)
+        assert tracer.rows[0]["cycle"] == 42
+
+    def test_duplicate_probe_rejected(self):
+        tracer = CycleTracer()
+        tracer.add_probe("x", lambda: 1)
+        with pytest.raises(ValueError):
+            tracer.add_probe("x", lambda: 2)
+
+    def test_unknown_column_raises(self):
+        tracer = CycleTracer()
+        with pytest.raises(KeyError):
+            tracer.column("missing")
+
+    def test_max_rows_cap(self):
+        tracer = CycleTracer(max_rows=3)
+        tracer.add_probe("x", lambda: 0)
+        for _ in range(10):
+            tracer.sample()
+        assert len(tracer) == 3
+
+    def test_csv_rendering(self):
+        tracer = CycleTracer()
+        tracer.add_probe("a", lambda: 1)
+        tracer.add_probe("b", lambda: "hi")
+        tracer.sample()
+        csv = tracer.to_csv()
+        assert csv.splitlines()[0] == "cycle,a,b"
+        assert csv.splitlines()[1] == "0,1,hi"
+
+    def test_summary_skips_non_numeric(self):
+        tracer = CycleTracer()
+        tracer.add_probe("num", lambda: 3)
+        tracer.add_probe("text", lambda: "x")
+        tracer.sample()
+        tracer.sample()
+        summary = tracer.summary()
+        assert summary["num"]["mean"] == 3.0
+        assert "text" not in summary
+
+    def test_clear(self):
+        tracer = CycleTracer()
+        tracer.add_probe("x", lambda: 1)
+        tracer.sample()
+        tracer.clear()
+        assert len(tracer) == 0
+
+
+class TestSystemTracing:
+    def test_trace_full_kernel(self):
+        design = datamaestro_evaluation_system()
+        system = AcceleratorSystem(design)
+        program = compile_workload(
+            GemmWorkload(name="trace_gemm", m=16, n=16, k=32), design
+        )
+        system.load_program(program)
+        tracer = trace_streamer_occupancy(system, ports=("A", "B"))
+        while not system.finished:
+            system.step()
+            tracer.sample()
+        assert len(tracer) > 0
+        summary = tracer.summary()
+        # The A stream keeps requests in flight while streaming.
+        assert summary["A_ch0_outstanding"]["max"] >= 1
+        # Every A wide word was streamed and progress ends at 1.0.
+        assert tracer.column("A_words_streamed")[-1] == program.ideal_compute_cycles
+        assert tracer.column("gemm_progress")[-1] == pytest.approx(1.0)
+        # The CSV export includes one line per sampled cycle plus the header.
+        assert len(tracer.to_csv().splitlines()) == len(tracer) + 1

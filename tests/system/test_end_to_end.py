@@ -1,0 +1,252 @@
+"""End-to-end integration tests: compile → simulate → compare with numpy.
+
+These are the most important tests in the repository: they run real data
+through the full cycle-level system (five DataMaestros, crossbar, GeMM core,
+quantizer) and check the functional result against the numpy oracle, for
+every workload group and every ablation feature configuration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FeatureSet, ablation_feature_sets
+from repro.compiler import compile_workload
+from repro.system import AcceleratorSystem, datamaestro_evaluation_system
+from repro.workloads import ConvWorkload, GemmWorkload
+
+
+@pytest.fixture(scope="module")
+def design():
+    return datamaestro_evaluation_system()
+
+
+@pytest.fixture(scope="module")
+def system(design):
+    return AcceleratorSystem(design)
+
+
+def run_workload(system, design, workload, features=None, seed=0):
+    program = compile_workload(workload, design, features, seed=seed)
+    result = system.run(program)
+    return program, result
+
+
+class TestGemmFunctional:
+    def test_small_gemm_matches_numpy(self, system, design):
+        workload = GemmWorkload(name="e2e_gemm_16", m=16, n=16, k=16)
+        program, result = run_workload(system, design, workload)
+        assert np.array_equal(result.outputs["D"], program.expected_outputs["D"])
+        assert system.verify_outputs(result)
+
+    def test_non_multiple_dimensions_are_padded(self, system, design):
+        workload = GemmWorkload(name="e2e_gemm_odd", m=13, n=11, k=19)
+        program, result = run_workload(system, design, workload)
+        assert result.outputs["D"].shape == (13, 11)
+        assert np.array_equal(result.outputs["D"], program.expected_outputs["D"])
+
+    def test_gemm_without_bias(self, system, design):
+        workload = GemmWorkload(name="e2e_gemm_nobias", m=16, n=16, k=16, with_bias=False)
+        program, result = run_workload(system, design, workload)
+        assert "C" not in program.streamer_configs
+        assert np.array_equal(result.outputs["D"], program.expected_outputs["D"])
+
+    def test_transposed_gemm_with_transposer(self, system, design):
+        workload = GemmWorkload(name="e2e_tgemm", m=16, n=16, k=24, transposed_a=True)
+        program, result = run_workload(system, design, workload)
+        assert program.metadata["use_transposer"]
+        assert np.array_equal(result.outputs["D"], program.expected_outputs["D"])
+
+    def test_transposed_gemm_without_transposer_feature(self, system, design):
+        features = FeatureSet.all_enabled().with_updates(transposer=False)
+        workload = GemmWorkload(name="e2e_tgemm_sw", m=16, n=16, k=24, transposed_a=True)
+        program, result = run_workload(system, design, workload, features)
+        assert not program.metadata["use_transposer"]
+        assert program.prepasses and program.prepasses[0].name == "software_transpose_A"
+        assert result.prepass_cycles > 0
+        assert np.array_equal(result.outputs["D"], program.expected_outputs["D"])
+
+    def test_quantized_gemm_produces_int8(self, system, design):
+        workload = GemmWorkload(name="e2e_gemm_quant", m=16, n=16, k=32, quantize=True)
+        program, result = run_workload(system, design, workload)
+        assert program.uses_quantizer
+        assert result.outputs["E"].dtype == np.int8
+        assert np.array_equal(result.outputs["E"], program.expected_outputs["E"])
+
+    def test_seed_changes_data_but_not_timing_shape(self, system, design):
+        workload = GemmWorkload(name="e2e_gemm_seed", m=16, n=16, k=16)
+        program0, result0 = run_workload(system, design, workload, seed=0)
+        program1, result1 = run_workload(system, design, workload, seed=1)
+        assert not np.array_equal(
+            program0.expected_outputs["D"], program1.expected_outputs["D"]
+        )
+        assert result0.streaming_cycles == result1.streaming_cycles
+
+
+class TestGemmFeatureConfigurations:
+    @pytest.mark.parametrize("step_name", list(ablation_feature_sets().keys()))
+    def test_every_ablation_step_is_functionally_correct(
+        self, system, design, step_name
+    ):
+        features = ablation_feature_sets()[step_name]
+        workload = GemmWorkload(name=f"e2e_abl_{step_name}", m=16, n=16, k=16)
+        program, result = run_workload(system, design, workload, features)
+        assert np.array_equal(result.outputs["D"], program.expected_outputs["D"])
+
+    def test_full_features_reach_near_peak_utilization(self, system, design):
+        workload = GemmWorkload(name="e2e_gemm_util", m=32, n=32, k=64)
+        _, result = run_workload(system, design, workload, FeatureSet.all_enabled())
+        assert result.utilization > 0.93
+
+    def test_baseline_is_much_slower_than_full(self, system, design):
+        workload = GemmWorkload(name="e2e_gemm_base", m=32, n=32, k=32)
+        _, full = run_workload(system, design, workload, FeatureSet.all_enabled())
+        _, base = run_workload(system, design, workload, FeatureSet.all_disabled())
+        assert base.kernel_cycles > 1.5 * full.kernel_cycles
+        assert base.utilization < full.utilization
+
+    def test_broadcaster_reduces_memory_reads(self, system, design):
+        workload = GemmWorkload(name="e2e_gemm_bcast", m=32, n=32, k=32)
+        with_bcast = FeatureSet.all_enabled()
+        without_bcast = FeatureSet.all_enabled().with_updates(broadcaster=False)
+        _, on = run_workload(system, design, workload, with_bcast)
+        _, off = run_workload(system, design, workload, without_bcast)
+        assert on.memory_reads < off.memory_reads
+        assert np.array_equal(on.outputs["D"], off.outputs["D"])
+
+
+class TestConvFunctional:
+    def test_small_conv_matches_numpy(self, system, design):
+        workload = ConvWorkload(
+            name="e2e_conv3x3",
+            in_height=8,
+            in_width=8,
+            in_channels=8,
+            out_channels=8,
+            kernel_h=3,
+            kernel_w=3,
+        )
+        program, result = run_workload(system, design, workload)
+        assert np.array_equal(result.outputs["D"], program.expected_outputs["D"])
+
+    def test_conv_with_padding(self, system, design):
+        workload = ConvWorkload(
+            name="e2e_conv_pad",
+            in_height=8,
+            in_width=8,
+            in_channels=8,
+            out_channels=16,
+            kernel_h=3,
+            kernel_w=3,
+            padding=1,
+        )
+        program, result = run_workload(system, design, workload)
+        assert result.outputs["D"].shape == (8, 8, 16)
+        assert np.array_equal(result.outputs["D"], program.expected_outputs["D"])
+
+    def test_strided_conv(self, system, design):
+        workload = ConvWorkload(
+            name="e2e_conv_stride2",
+            in_height=10,
+            in_width=10,
+            in_channels=8,
+            out_channels=8,
+            kernel_h=3,
+            kernel_w=3,
+            stride=2,
+        )
+        program, result = run_workload(system, design, workload)
+        assert np.array_equal(result.outputs["D"], program.expected_outputs["D"])
+
+    def test_pointwise_conv(self, system, design):
+        workload = ConvWorkload(
+            name="e2e_conv1x1",
+            in_height=8,
+            in_width=8,
+            in_channels=16,
+            out_channels=16,
+            kernel_h=1,
+            kernel_w=1,
+        )
+        program, result = run_workload(system, design, workload)
+        assert np.array_equal(result.outputs["D"], program.expected_outputs["D"])
+
+    def test_conv_without_implicit_im2col_charges_prepass(self, system, design):
+        features = FeatureSet.all_enabled().with_updates(implicit_im2col=False)
+        workload = ConvWorkload(
+            name="e2e_conv_sw_im2col",
+            in_height=8,
+            in_width=8,
+            in_channels=8,
+            out_channels=8,
+            kernel_h=3,
+            kernel_w=3,
+        )
+        program, result = run_workload(system, design, workload, features)
+        assert program.prepasses and program.prepasses[0].name == "software_im2col"
+        assert result.prepass_cycles > 0
+        assert np.array_equal(result.outputs["D"], program.expected_outputs["D"])
+
+    def test_pointwise_conv_needs_no_im2col_prepass(self, system, design):
+        features = FeatureSet.all_enabled().with_updates(implicit_im2col=False)
+        workload = ConvWorkload(
+            name="e2e_conv1x1_noim2col",
+            in_height=8,
+            in_width=8,
+            in_channels=8,
+            out_channels=8,
+            kernel_h=1,
+            kernel_w=1,
+        )
+        program, _ = run_workload(system, design, workload, features)
+        assert not program.prepasses
+
+    def test_quantized_conv(self, system, design):
+        workload = ConvWorkload(
+            name="e2e_conv_quant",
+            in_height=8,
+            in_width=8,
+            in_channels=8,
+            out_channels=8,
+            kernel_h=3,
+            kernel_w=3,
+            quantize=True,
+        )
+        program, result = run_workload(system, design, workload)
+        assert np.array_equal(result.outputs["E"], program.expected_outputs["E"])
+
+    def test_conv_baseline_functionally_correct(self, system, design):
+        workload = ConvWorkload(
+            name="e2e_conv_base",
+            in_height=8,
+            in_width=8,
+            in_channels=8,
+            out_channels=8,
+            kernel_h=3,
+            kernel_w=3,
+        )
+        program, result = run_workload(
+            system, design, workload, FeatureSet.all_disabled()
+        )
+        assert np.array_equal(result.outputs["D"], program.expected_outputs["D"])
+
+
+class TestTimingMetrics:
+    def test_utilization_never_exceeds_one(self, system, design):
+        workload = GemmWorkload(name="e2e_util_bound", m=16, n=16, k=16)
+        _, result = run_workload(system, design, workload)
+        assert 0.0 < result.utilization <= 1.0
+
+    def test_result_counters_present(self, system, design):
+        workload = GemmWorkload(name="e2e_counters", m=16, n=16, k=16)
+        _, result = run_workload(system, design, workload)
+        assert result.counters["gemm_mac_cycles"] == result.ideal_compute_cycles
+        assert result.memory_reads > 0
+        assert result.memory_writes > 0
+        assert set(result.streamer_stats) == {"A", "B", "C", "D"}
+
+    def test_memory_reads_scale_with_work(self, system, design):
+        small = GemmWorkload(name="e2e_small", m=16, n=16, k=16)
+        large = GemmWorkload(name="e2e_large", m=32, n=32, k=32)
+        _, small_result = run_workload(system, design, small)
+        _, large_result = run_workload(system, design, large)
+        assert large_result.memory_reads > 4 * small_result.memory_reads

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_gemm_arguments(self):
+        args = build_parser().parse_args(["simulate-gemm", "16", "16", "16", "--quantize"])
+        assert (args.m, args.n, args.k) == (16, 16, 16)
+        assert args.quantize and not args.transposed
+
+
+class TestCommands:
+    def test_list_experiments(self, capsys):
+        assert main(["list-experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "table3" in out
+
+    def test_suite_info(self, capsys):
+        assert main(["suite-info"]) == 0
+        out = capsys.readouterr().out
+        assert "gemm" in out and "convolution" in out
+
+    def test_experiment_fig4(self, capsys):
+        assert main(["experiment", "fig4"]) == 0
+        assert "Figure 4" in capsys.readouterr().out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+
+    def test_simulate_gemm(self, capsys):
+        assert main(["simulate-gemm", "16", "16", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "utilization" in out
+        assert "kernel cycles" in out
+
+    def test_simulate_gemm_baseline_slower(self, capsys):
+        main(["simulate-gemm", "16", "16", "32"])
+        full_out = capsys.readouterr().out
+        main(["simulate-gemm", "16", "16", "32", "--baseline"])
+        base_out = capsys.readouterr().out
+
+        def cycles(text):
+            for line in text.splitlines():
+                if "kernel cycles" in line:
+                    return int(line.split("|")[1].strip())
+            raise AssertionError("cycles not found")
+
+        assert cycles(base_out) > cycles(full_out)
+
+    def test_simulate_conv(self, capsys):
+        assert main(
+            ["simulate-conv", "8", "8", "8", "8", "--kernel", "3", "--padding", "1"]
+        ) == 0
+        assert "utilization" in capsys.readouterr().out
+
+    def test_simulate_quantized_conv(self, capsys):
+        assert main(["simulate-conv", "8", "8", "8", "8", "--quantize"]) == 0
+        assert "utilization" in capsys.readouterr().out

@@ -1,0 +1,91 @@
+"""Tests for the shared byte-packing helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils import bytes_to_tile, ceil_div, pad_to_multiple, tile_to_bytes
+
+
+class TestTileConversion:
+    def test_int8_roundtrip(self):
+        tile = np.arange(-8, 8, dtype=np.int8).reshape(4, 4)
+        raw = tile_to_bytes(tile)
+        assert raw.dtype == np.uint8
+        back = bytes_to_tile(raw, (4, 4), np.int8)
+        assert np.array_equal(back, tile)
+
+    def test_int32_roundtrip(self):
+        tile = np.array([[2**20, -5], [7, -(2**30)]], dtype=np.int32)
+        raw = tile_to_bytes(tile)
+        assert raw.size == 16
+        back = bytes_to_tile(raw, (2, 2), np.int32)
+        assert np.array_equal(back, tile)
+
+    def test_row_major_byte_order(self):
+        tile = np.array([[1, 2], [3, 4]], dtype=np.int8)
+        assert list(tile_to_bytes(tile)) == [1, 2, 3, 4]
+
+    def test_wrong_size_raises(self):
+        with pytest.raises(ValueError):
+            bytes_to_tile(np.zeros(5, dtype=np.uint8), (2, 2), np.int8)
+
+    @given(
+        rows=st.integers(min_value=1, max_value=8),
+        cols=st.integers(min_value=1, max_value=8),
+        dtype=st.sampled_from([np.int8, np.int16, np.int32]),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, rows, cols, dtype, seed):
+        rng = np.random.default_rng(seed)
+        info = np.iinfo(dtype)
+        tile = rng.integers(info.min, info.max, size=(rows, cols)).astype(dtype)
+        back = bytes_to_tile(tile_to_bytes(tile), (rows, cols), dtype)
+        assert np.array_equal(back, tile)
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize(
+        "num,den,expected", [(0, 8, 0), (1, 8, 1), (8, 8, 1), (9, 8, 2), (64, 8, 8)]
+    )
+    def test_values(self, num, den, expected):
+        assert ceil_div(num, den) == expected
+
+    def test_invalid_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+    @given(
+        num=st.integers(min_value=0, max_value=10_000),
+        den=st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property(self, num, den):
+        result = ceil_div(num, den)
+        assert result * den >= num
+        assert (result - 1) * den < num or result == 0
+
+
+class TestPadToMultiple:
+    def test_no_padding_needed(self):
+        array = np.ones((4, 8), dtype=np.int8)
+        padded = pad_to_multiple(array, (4, 8))
+        assert padded.shape == (4, 8)
+        assert padded is array
+
+    def test_padding_added_with_zeros(self):
+        array = np.ones((3, 5), dtype=np.int8)
+        padded = pad_to_multiple(array, (4, 8))
+        assert padded.shape == (4, 8)
+        assert padded[:3, :5].sum() == 15
+        assert padded.sum() == 15
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pad_to_multiple(np.ones((2, 2)), (2,))
+
+    def test_invalid_multiple_raises(self):
+        with pytest.raises(ValueError):
+            pad_to_multiple(np.ones((2,)), (0,))

@@ -1,0 +1,87 @@
+"""Tests for the real-world DNN layer tables (Table III networks)."""
+
+import pytest
+
+from repro.workloads import (
+    ConvWorkload,
+    GemmWorkload,
+    benchmark_networks,
+    bert_base,
+    compute_distribution,
+    network_by_name,
+    resnet18,
+    total_layer_instances,
+    vgg16,
+    vit_base_16,
+)
+
+
+class TestNetworkTables:
+    def test_benchmark_networks_match_table3(self):
+        networks = benchmark_networks()
+        assert set(networks) == {"ResNet-18", "VGG-16", "ViT-B-16", "BERT-Base"}
+        assert networks["ResNet-18"].kind == "CNN"
+        assert networks["BERT-Base"].kind == "Transformer"
+
+    def test_network_by_name(self):
+        assert network_by_name("VGG-16").name == "VGG-16"
+        with pytest.raises(KeyError):
+            network_by_name("AlexNet")
+
+    def test_resnet18_structure(self):
+        model = resnet18()
+        convs = [l for l in model.layers if isinstance(l.workload, ConvWorkload)]
+        gemms = [l for l in model.layers if isinstance(l.workload, GemmWorkload)]
+        assert len(gemms) == 1  # the classifier
+        # 7x7 stem with stride 2 present.
+        stem = model.layers[0].workload
+        assert stem.kernel_h == 7 and stem.stride == 2
+        # ResNet-18 has 20 convolutions (16 block convs + stem + 3 downsample skips).
+        assert sum(l.count for l in convs) == 20
+        # ~1.8 GMACs for 224x224 inference.
+        assert 1.6e9 < model.total_macs < 2.1e9
+
+    def test_vgg16_structure(self):
+        model = vgg16()
+        assert sum(l.count for l in model.layers) == 16
+        # ~15.5 GMACs for 224x224 inference.
+        assert 1.4e10 < model.total_macs < 1.6e10
+
+    def test_vit_structure(self):
+        model = vit_base_16()
+        names = [layer.workload.name for layer in model.layers]
+        assert "vit_qkv_proj" in names
+        assert "vit_attn_scores" in names
+        scores = next(l for l in model.layers if l.workload.name == "vit_attn_scores")
+        assert scores.workload.transposed_a
+        assert scores.count == 12 * 12
+        # ~17 GMACs with 197 tokens.
+        assert 1.5e10 < model.total_macs < 2.0e10
+
+    def test_bert_structure(self):
+        model = bert_base()
+        assert model.name == "BERT-Base"
+        ffn = next(l for l in model.layers if l.workload.name == "bert_ffn_fc1")
+        assert ffn.workload.n == 3072 and ffn.workload.k == 768
+        # ~11 GMACs at sequence length 128.
+        assert 0.9e10 < model.total_macs < 1.3e10
+
+    def test_bert_sequence_length_parameter(self):
+        short = bert_base(sequence_length=64)
+        long = bert_base(sequence_length=256)
+        assert long.total_macs > short.total_macs
+
+    def test_total_layer_instances(self):
+        model = resnet18()
+        assert total_layer_instances(model) == sum(l.count for l in model.layers)
+
+    def test_compute_distribution_sums_to_one(self):
+        for model in benchmark_networks().values():
+            shares = compute_distribution(model)
+            assert sum(share for _, share in shares) == pytest.approx(1.0)
+
+    def test_layer_counts_positive(self):
+        with pytest.raises(ValueError):
+            from repro.workloads.networks import NetworkLayer
+
+            NetworkLayer(GemmWorkload(name="x", m=8, n=8, k=8), count=0)
