@@ -16,7 +16,7 @@ import os
 
 import pytest
 
-from repro.system import AcceleratorSystem, datamaestro_evaluation_system
+from repro.system import datamaestro_evaluation_system
 
 
 def pytest_report_header(config):
@@ -28,12 +28,6 @@ def pytest_report_header(config):
 def evaluation_design():
     """The paper's evaluation-system design (Fig. 6)."""
     return datamaestro_evaluation_system()
-
-
-@pytest.fixture(scope="session")
-def evaluation_system(evaluation_design):
-    """A reusable cycle-level system instance."""
-    return AcceleratorSystem(evaluation_design)
 
 
 @pytest.fixture

@@ -1,34 +1,48 @@
-"""Micro-benchmarks of the cycle-level simulator on individual kernels.
+"""Micro-benchmarks of the simulation service on individual kernels.
 
-These complement the per-figure harnesses: they time how fast the simulator
-itself executes representative kernels (useful when optimising the models)
-and record the achieved utilization of each kernel in ``extra_info``.
+These complement the per-figure harnesses: they time how fast the runtime
+executes representative jobs end to end (compile + cycle simulation — useful
+when optimising the models), record the achieved utilization of each kernel
+in ``extra_info``, and measure the result-cache round-trip.
 """
 
 import pytest
 
 from repro.compiler import compile_workload
-from repro.core import FeatureSet
 from repro.experiments.fig10_comparison import comparison_kernels
+from repro.runtime import SimJob, Simulator
 from repro.workloads import GemmWorkload
 
 
 @pytest.mark.parametrize("kernel", comparison_kernels(), ids=lambda w: w.name)
-def test_simulate_kernel(benchmark, evaluation_design, evaluation_system, kernel):
-    program = compile_workload(kernel, evaluation_design, FeatureSet.all_enabled())
+def test_simulate_kernel(benchmark, evaluation_design, kernel):
+    simulator = Simulator()
+    job = SimJob(workload=kernel, design=evaluation_design)
 
-    def run():
-        return evaluation_system.run(program)
-
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
-    assert result.utilization > 0.9
-    benchmark.extra_info["utilization"] = result.utilization
-    benchmark.extra_info["kernel_cycles"] = result.kernel_cycles
+    outcome = benchmark.pedantic(simulator.simulate, args=(job,), rounds=1, iterations=1)
+    assert outcome.utilization > 0.9
+    assert outcome.functional_match is True
+    benchmark.extra_info["utilization"] = outcome.utilization
+    benchmark.extra_info["kernel_cycles"] = outcome.kernel_cycles
     benchmark.extra_info["simulated_cycles_per_second"] = (
-        result.kernel_cycles / benchmark.stats.stats.mean
+        outcome.kernel_cycles / benchmark.stats.stats.mean
         if benchmark.stats.stats.mean
         else 0.0
     )
+
+
+def test_cached_rerun_gemm64(benchmark, evaluation_design, tmp_path):
+    """Time a warm-cache rerun: the whole job is served from disk."""
+    job = SimJob(
+        workload=GemmWorkload(name="bench_cached_gemm64", m=64, n=64, k=64),
+        design=evaluation_design,
+    )
+    Simulator(cache_dir=tmp_path).simulate(job)  # warm the cache
+
+    warm = Simulator(cache_dir=tmp_path)
+    outcome = benchmark.pedantic(warm.simulate, args=(job,), rounds=1, iterations=1)
+    assert outcome.cache_hit
+    assert warm.stats.executed == 0
 
 
 def test_compile_gemm64(benchmark, evaluation_design):

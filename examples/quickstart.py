@@ -6,16 +6,17 @@ AGU, streams a small tensor out of a multi-banked scratchpad and shows the
 wide words the accelerator would receive.
 
 Part 2 uses the complete evaluation system of the paper (five DataMaestros +
-GeMM core + quantizer): it compiles a 16x16x16 GeMM, runs the cycle-level
-simulation, verifies the result against numpy and prints the utilization and
-memory-access statistics.
+GeMM core + quantizer) through the ``repro.runtime`` simulation service: it
+declares a 16x16x16 GeMM as a :class:`SimJob`, lets the :class:`Simulator`
+compile/run/verify it, and prints the utilization and memory-access
+statistics from the uniform :class:`SimOutcome`.
 
 Run with:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro.compiler import compile_workload
+from repro import SimJob, Simulator
 from repro.core import (
     DataMaestro,
     FeatureSet,
@@ -24,7 +25,6 @@ from repro.core import (
     StreamerRuntimeConfig,
 )
 from repro.memory import BankGeometry, MemorySubsystem
-from repro.system import AcceleratorSystem, datamaestro_evaluation_system
 from repro.workloads import GemmWorkload
 
 
@@ -79,22 +79,24 @@ def part2_full_system():
     print("Part 2: 16x16x16 GeMM on the five-DataMaestro evaluation system")
     print("=" * 70)
 
-    design = datamaestro_evaluation_system()
-    system = AcceleratorSystem(design)
+    # Describe *what* to simulate; the Simulator decides how (compilation,
+    # execution, optional caching — pass cache_dir=... to make reruns free).
+    simulator = Simulator()
+    job = SimJob(
+        workload=GemmWorkload(name="quickstart_gemm", m=16, n=16, k=16),
+        features=FeatureSet.all_enabled(),
+    )
+    print("  job:", job.describe())
 
-    workload = GemmWorkload(name="quickstart_gemm", m=16, n=16, k=16)
-    program = compile_workload(workload, design, FeatureSet.all_enabled())
-    print("  compiled program:", program.describe())
-
-    result = system.run(program)
-    expected = program.expected_outputs["D"]
-    actual = result.outputs["D"]
-    print(f"  functional match vs numpy: {np.array_equal(actual, expected)}")
-    print(f"  ideal compute cycles : {result.ideal_compute_cycles}")
-    print(f"  measured cycles      : {result.kernel_cycles}")
-    print(f"  GeMM-core utilization: {result.utilization:.2%}")
-    print(f"  scratchpad accesses  : {result.memory_accesses} words")
-    print(f"  bank conflicts       : {result.bank_conflicts}")
+    outcome = simulator.simulate(job)
+    print(f"  functional match vs numpy: {outcome.functional_match}")
+    print(f"  ideal compute cycles : {outcome.ideal_compute_cycles}")
+    print(f"  measured cycles      : {outcome.kernel_cycles}")
+    print(f"  GeMM-core utilization: {outcome.utilization:.2%}")
+    print(f"  scratchpad accesses  : {outcome.memory_accesses} words")
+    print(f"  bank conflicts       : {outcome.bank_conflicts}")
+    # The full cycle-level SimulationResult rides along for deep dives.
+    result = outcome.result
     for port, stats in result.streamer_stats.items():
         print(
             f"    port {port}: {stats.words_streamed} wide words, "

@@ -2,9 +2,10 @@
 
 This package is a cycle-level, pure-Python reproduction of the DAC 2025 paper
 *DataMaestro: A Versatile and Efficient Data Streaming Engine Bringing
-Decoupled Memory Access To Dataflow Accelerators*.  See ``DESIGN.md`` for the
-system inventory and ``EXPERIMENTS.md`` for the paper-vs-measured record of
-every table and figure.
+Decoupled Memory Access To Dataflow Accelerators*.  ``docs/RUNTIME.md``
+documents the simulation-service layer; the per-module docstrings and the
+experiment reports record the paper-vs-measured comparison for every table
+and figure.
 
 Top-level convenience imports expose the most frequently used entry points;
 the sub-packages hold the full API:
@@ -15,9 +16,21 @@ the sub-packages hold the full API:
 * :mod:`repro.system` — the evaluation system (five DataMaestros + host);
 * :mod:`repro.compiler` — workload-to-CSR mapping, layouts and allocation;
 * :mod:`repro.workloads` — workload specs, the synthetic suite, DNN models;
+* :mod:`repro.runtime` — the simulation service: declarative jobs, the
+  :class:`~repro.runtime.simulator.Simulator` facade, parallel batch
+  execution and the on-disk result cache;
 * :mod:`repro.baselines` — SotA comparator models;
 * :mod:`repro.analysis` — metrics, ablation driver, area/power models;
 * :mod:`repro.experiments` — one module per paper table/figure.
+
+The runtime is the front door for running simulations::
+
+    from repro import SimJob, Simulator
+    from repro.workloads import GemmWorkload
+
+    outcome = Simulator().simulate(
+        SimJob(workload=GemmWorkload(name="demo", m=64, n=64, k=64))
+    )
 """
 
 from .core.params import FeatureSet, StreamerDesign, StreamerMode, StreamerRuntimeConfig
@@ -25,6 +38,8 @@ from .core.streamer import DataMaestro
 from .memory.addressing import AddressingMode, BankGeometry
 
 __version__ = "1.0.0"
+
+from .runtime import BatchRunner, SimJob, SimOutcome, Simulator, simulate
 
 __all__ = [
     "DataMaestro",
@@ -34,5 +49,10 @@ __all__ = [
     "StreamerRuntimeConfig",
     "AddressingMode",
     "BankGeometry",
+    "SimJob",
+    "SimOutcome",
+    "Simulator",
+    "BatchRunner",
+    "simulate",
     "__version__",
 ]

@@ -19,10 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
-from ..compiler.mapper import compile_workload
 from ..core.params import ABLATION_STEPS, FeatureSet
+from ..runtime.job import SimJob
+from ..runtime.outcome import SimOutcome
+from ..runtime.simulator import Simulator
 from ..system.design import AcceleratorSystemDesign, datamaestro_evaluation_system
-from ..system.system import AcceleratorSystem
 from ..workloads.spec import Workload, WorkloadGroup
 from ..workloads.synthetic import stratified_subset, synthetic_suite
 from .metrics import BoxStats
@@ -175,16 +176,22 @@ class AblationResults:
 
 
 class AblationStudy:
-    """Runs the ①–⑥ feature ladder over a workload suite."""
+    """Runs the ①–⑥ feature ladder over a workload suite.
+
+    All simulation goes through the :class:`~repro.runtime.simulator.Simulator`
+    facade, so a study with a cached/parallel simulator is incremental and
+    can fan out across worker processes.
+    """
 
     def __init__(
         self,
         design: Optional[AcceleratorSystemDesign] = None,
         steps: Optional[Sequence[str]] = None,
         seed: int = 0,
+        simulator: Optional[Simulator] = None,
     ) -> None:
         self.design = design or datamaestro_evaluation_system()
-        self.system = AcceleratorSystem(self.design)
+        self.simulator = simulator or Simulator()
         all_steps = dict(ABLATION_STEPS)
         if steps is None:
             self.steps: Dict[str, FeatureSet] = dict(ABLATION_STEPS)
@@ -196,9 +203,17 @@ class AblationStudy:
         self.seed = seed
 
     # ------------------------------------------------------------------
-    def run_workload(self, workload: Workload, features: FeatureSet):
-        program = compile_workload(workload, self.design, features, seed=self.seed)
-        return program, self.system.run(program)
+    def job_for(self, workload: Workload, features: FeatureSet) -> SimJob:
+        return SimJob(
+            workload=workload,
+            design=self.design,
+            features=features,
+            seed=self.seed,
+        )
+
+    def run_workload(self, workload: Workload, features: FeatureSet) -> SimOutcome:
+        """Simulate one (workload, feature-set) point through the runtime."""
+        return self.simulator.simulate(self.job_for(workload, features))
 
     def run(
         self,
@@ -209,28 +224,36 @@ class AblationStudy:
         """Run the sweep; optionally subsample each group for quick runs."""
         if suite is None:
             suite = synthetic_suite()
-        results = AblationResults()
+        points: List[tuple] = []
         for group, workloads in suite.items():
             selected = list(workloads)
             if workloads_per_group is not None:
                 selected = stratified_subset(selected, workloads_per_group)
             for workload in selected:
                 for step, features in self.steps.items():
-                    program, result = self.run_workload(workload, features)
-                    if verify_functional and not self.system.verify_outputs(result):
-                        raise AssertionError(
-                            f"functional mismatch for {workload.name} at step {step}"
-                        )
-                    results.entries.append(
-                        AblationEntry(
-                            step=step,
-                            group=group,
-                            workload_name=workload.name,
-                            ideal_cycles=result.ideal_compute_cycles,
-                            kernel_cycles=result.kernel_cycles,
-                            utilization=result.utilization,
-                            memory_accesses=result.memory_accesses,
-                            bank_conflicts=result.bank_conflicts,
-                        )
-                    )
+                    points.append((group, workload, step, features))
+
+        outcomes = self.simulator.simulate_many(
+            self.job_for(workload, features)
+            for _, workload, _, features in points
+        )
+
+        results = AblationResults()
+        for (group, workload, step, _), outcome in zip(points, outcomes):
+            if verify_functional and outcome.functional_match is False:
+                raise AssertionError(
+                    f"functional mismatch for {workload.name} at step {step}"
+                )
+            results.entries.append(
+                AblationEntry(
+                    step=step,
+                    group=group,
+                    workload_name=workload.name,
+                    ideal_cycles=outcome.ideal_compute_cycles,
+                    kernel_cycles=outcome.kernel_cycles,
+                    utilization=outcome.utilization,
+                    memory_accesses=outcome.memory_accesses,
+                    bank_conflicts=outcome.bank_conflicts,
+                )
+            )
         return results

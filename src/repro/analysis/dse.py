@@ -24,10 +24,10 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
-from ..compiler.mapper import compile_workload
 from ..core.params import FeatureSet, MemoryDesign, StreamerDesign
+from ..runtime.job import SimJob
+from ..runtime.simulator import Simulator
 from ..system.design import AcceleratorSystemDesign, datamaestro_evaluation_system
-from ..system.system import AcceleratorSystem
 from ..workloads.spec import GemmWorkload, Workload
 
 
@@ -59,6 +59,7 @@ def default_sweep_workload() -> GemmWorkload:
 
 
 def _evaluate(
+    simulator: Simulator,
     design: AcceleratorSystemDesign,
     workload: Workload,
     parameter: str,
@@ -66,16 +67,22 @@ def _evaluate(
     features: FeatureSet,
     seed: int,
 ) -> DesignPoint:
-    system = AcceleratorSystem(design)
-    program = compile_workload(workload, design, features, seed=seed)
-    result = system.run(program)
+    outcome = simulator.simulate(
+        SimJob(
+            workload=workload,
+            design=design,
+            features=features,
+            seed=seed,
+            label=f"{parameter}={value}",
+        )
+    )
     return DesignPoint(
         parameter=parameter,
         value=value,
-        utilization=result.utilization,
-        kernel_cycles=result.kernel_cycles,
-        bank_conflicts=result.bank_conflicts,
-        memory_accesses=result.memory_accesses,
+        utilization=outcome.utilization,
+        kernel_cycles=outcome.kernel_cycles,
+        bank_conflicts=outcome.bank_conflicts,
+        memory_accesses=outcome.memory_accesses,
     )
 
 
@@ -99,11 +106,13 @@ def sweep_data_fifo_depth(
     features: Optional[FeatureSet] = None,
     base_design: Optional[AcceleratorSystemDesign] = None,
     seed: int = 0,
+    simulator: Optional[Simulator] = None,
 ) -> List[DesignPoint]:
     """Sweep the data-FIFO depth of the per-cycle operand streams (A and B)."""
     workload = workload or default_sweep_workload()
     features = features or FeatureSet.all_enabled()
     base_design = base_design or datamaestro_evaluation_system()
+    simulator = simulator or Simulator()
     points = []
     for depth in depths:
         design = _with_streamer_overrides(
@@ -113,7 +122,9 @@ def sweep_data_fifo_depth(
             address_buffer_depth=max(int(depth), 2),
         )
         points.append(
-            _evaluate(design, workload, "data_fifo_depth", int(depth), features, seed)
+            _evaluate(
+                simulator, design, workload, "data_fifo_depth", int(depth), features, seed
+            )
         )
     return points
 
@@ -123,16 +134,20 @@ def sweep_bank_count(
     workload: Optional[Workload] = None,
     features: Optional[FeatureSet] = None,
     seed: int = 0,
+    simulator: Optional[Simulator] = None,
 ) -> List[DesignPoint]:
     """Sweep the number of scratchpad banks (at constant total capacity)."""
     workload = workload or default_sweep_workload()
     features = features or FeatureSet.all_enabled()
+    simulator = simulator or Simulator()
     points = []
     for banks in bank_counts:
         design = datamaestro_evaluation_system(
             num_banks=int(banks), gima_group_size=max(int(banks) // 4, 1)
         )
-        points.append(_evaluate(design, workload, "num_banks", int(banks), features, seed))
+        points.append(
+            _evaluate(simulator, design, workload, "num_banks", int(banks), features, seed)
+        )
     return points
 
 
@@ -140,15 +155,19 @@ def sweep_gima_group_size(
     group_sizes: Sequence[int] = (8, 16, 32, 64),
     workload: Optional[Workload] = None,
     seed: int = 0,
+    simulator: Optional[Simulator] = None,
 ) -> List[DesignPoint]:
     """Sweep the bank-group size used when addressing-mode switching is on."""
     workload = workload or default_sweep_workload()
     features = FeatureSet.all_enabled()
+    simulator = simulator or Simulator()
     points = []
     for group in group_sizes:
         design = datamaestro_evaluation_system(gima_group_size=int(group))
         points.append(
-            _evaluate(design, workload, "gima_group_size", int(group), features, seed)
+            _evaluate(
+                simulator, design, workload, "gima_group_size", int(group), features, seed
+            )
         )
     return points
 

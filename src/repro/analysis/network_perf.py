@@ -17,10 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..compiler.mapper import compile_workload
 from ..core.params import FeatureSet
+from ..runtime.job import SimJob
+from ..runtime.simulator import Simulator
 from ..system.design import AcceleratorSystemDesign, datamaestro_evaluation_system
-from ..system.system import AcceleratorSystem
 from ..utils.packing import ceil_div
 from ..workloads.networks import NetworkModel
 from ..workloads.spec import ConvWorkload, GemmWorkload, Workload
@@ -134,10 +134,11 @@ class NetworkPerformanceEstimator:
         design: Optional[AcceleratorSystemDesign] = None,
         features: Optional[FeatureSet] = None,
         seed: int = 0,
+        simulator: Optional[Simulator] = None,
     ) -> None:
         self.design = design or datamaestro_evaluation_system()
         self.features = features or FeatureSet.all_enabled()
-        self.system = AcceleratorSystem(self.design)
+        self.simulator = simulator or Simulator()
         self.seed = seed
         self._cache: Dict[str, float] = {}
 
@@ -152,11 +153,18 @@ class NetworkPerformanceEstimator:
         crop = representative_crop(workload)
         cached = self._cache.get(crop.name)
         if cached is None:
-            program = compile_workload(crop, self.design, self.features, seed=self.seed)
-            result = self.system.run(program)
-            cached = result.utilization
+            outcome = self.simulator.simulate(
+                SimJob(
+                    workload=crop,
+                    design=self.design,
+                    features=self.features,
+                    seed=self.seed,
+                    label=f"crop:{workload.name}",
+                )
+            )
+            cached = outcome.utilization
             self._cache[crop.name] = cached
-            crop_cycles = result.kernel_cycles
+            crop_cycles = outcome.kernel_cycles
         else:
             crop_cycles = int(round(self._ideal_cycles(crop) / max(cached, 1e-9)))
         return LayerEstimate(

@@ -15,11 +15,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from ..compiler.mapper import compile_workload
 from ..core.params import FeatureSet
+from ..runtime.job import SimJob
+from ..runtime.simulator import Simulator
 from ..sim.result import SimulationResult
 from ..system.design import AcceleratorSystemDesign, datamaestro_evaluation_system
-from ..system.system import AcceleratorSystem
 from ..workloads.spec import GemmWorkload
 from .area import AreaModel, SystemAreaBreakdown
 from .technology import DEFAULT_ENERGY, EnergyCoefficients
@@ -126,6 +126,7 @@ def gemm64_power_report(
     design: Optional[AcceleratorSystemDesign] = None,
     area_breakdown: Optional[SystemAreaBreakdown] = None,
     seed: int = 0,
+    simulator: Optional[Simulator] = None,
 ) -> Dict[str, object]:
     """Reproduce the paper's §IV-D reference point: GeMM-64 at 1 GHz.
 
@@ -133,10 +134,18 @@ def gemm64_power_report(
     simulation result the numbers were derived from.
     """
     design = design or datamaestro_evaluation_system()
-    system = AcceleratorSystem(design)
+    simulator = simulator or Simulator()
     workload = GemmWorkload(name="gemm64_power_ref", m=64, n=64, k=64, quantize=True)
-    program = compile_workload(workload, design, FeatureSet.all_enabled(), seed=seed)
-    result = system.run(program)
+    outcome = simulator.simulate(
+        SimJob(
+            workload=workload,
+            design=design,
+            features=FeatureSet.all_enabled(),
+            seed=seed,
+            label="gemm64_power_ref",
+        )
+    )
+    result = outcome.result
     area_model = AreaModel(design)
     power_model = PowerModel(design, area_model=area_model)
     breakdown = power_model.breakdown(result)

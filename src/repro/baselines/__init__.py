@@ -1,6 +1,12 @@
-"""State-of-the-art comparator models for Table I and Figure 10."""
+"""State-of-the-art comparator models for Table I and Figure 10.
 
-from typing import Dict, List
+Every comparator registers in :data:`BASELINE_REGISTRY` (slug → factory),
+which is the single source of truth consumed by the Table I / Fig. 10
+experiment modules and by the :mod:`repro.runtime` backend registry — no
+caller enumerates model classes by hand.
+"""
+
+from typing import Callable, Dict, List
 
 from .base import (
     TABLE1_FEATURES,
@@ -20,39 +26,97 @@ from .streaming import (
     SsrModel,
 )
 
+#: All comparator models, keyed by slug.  Insertion order matters: it is the
+#: Fig. 10 ordering for the models that have performance models.
+BASELINE_REGISTRY: Dict[str, Callable[[], DataMovementSolution]] = {
+    "gemmini-os": lambda: GemminiModel("OS"),
+    "gemmini-ws": lambda: GemminiModel("WS"),
+    "bitwave": BitWaveModel,
+    "feather": FeatherModel,
+    "ssr": SsrModel,
+    "hwpe": HwpeModel,
+    "buffet": BuffetModel,
+    "softbrain": SoftbrainModel,
+    "sparse-dataflow": SparseProgrammableDataflowModel,
+    "datamaestro": DataMaestroSolution,
+}
+
+#: Table I column order (paper layout), expressed as registry slugs.
+TABLE1_ORDER = (
+    "gemmini-os",
+    "bitwave",
+    "sparse-dataflow",
+    "feather",
+    "ssr",
+    "hwpe",
+    "buffet",
+    "softbrain",
+    "datamaestro",
+)
+
+#: The solutions whose data-movement overhead the paper compiled (Fig. 10
+#: right), in presentation order.
+OVERHEAD_ORDER = ("buffet", "softbrain", "bitwave", "feather")
+
+
+def create_baseline(slug: str) -> DataMovementSolution:
+    """Instantiate one registered comparator model by slug."""
+    try:
+        factory = BASELINE_REGISTRY[slug]
+    except KeyError:
+        raise KeyError(
+            f"unknown baseline {slug!r}; available: {sorted(BASELINE_REGISTRY)}"
+        ) from None
+    model = factory()
+    # Stamp the registry key so describe()/slug round-trips through
+    # create_baseline() and the CLI's baseline:<slug> backend names.
+    model._slug = slug
+    return model
+
 
 def table1_solutions() -> List[DataMovementSolution]:
     """All solutions compared in Table I, in the paper's column order."""
-    return [
-        GemminiModel("OS"),
-        BitWaveModel(),
-        SparseProgrammableDataflowModel(),
-        FeatherModel(),
-        SsrModel(),
-        HwpeModel(),
-        BuffetModel(),
-        SoftbrainModel(),
-        DataMaestroSolution(),
-    ]
+    return [create_baseline(slug) for slug in TABLE1_ORDER]
 
 
 def throughput_baselines() -> List[DataMovementSolution]:
-    """The accelerators compared in Fig. 10 (left), excluding DataMaestro."""
-    return [GemminiModel("OS"), GemminiModel("WS"), BitWaveModel(), FeatherModel()]
+    """The accelerators compared in Fig. 10 (left), excluding DataMaestro.
+
+    Derived from the registry by capability: every model that implements a
+    performance model, except DataMaestro itself (whose utilization is
+    measured, not modelled).
+    """
+    baselines = []
+    for slug in BASELINE_REGISTRY:
+        if slug == "datamaestro":
+            continue
+        model = create_baseline(slug)
+        if model.has_performance_model:
+            baselines.append(model)
+    return baselines
 
 
 def overhead_comparison() -> Dict[str, OverheadProfile]:
     """The Fig. 10 (right) data-movement area/power share table."""
     comparison: Dict[str, OverheadProfile] = {}
-    for solution in (BuffetModel(), SoftbrainModel(), BitWaveModel(), FeatherModel()):
+    for slug in OVERHEAD_ORDER:
+        solution = create_baseline(slug)
         profile = solution.overhead_profile()
         if profile is not None:
             comparison[solution.name] = profile
     return comparison
 
 
+def describe_baselines() -> Dict[str, Dict[str, object]]:
+    """Capability summary of every registered model (slug → describe())."""
+    return {slug: create_baseline(slug).describe() for slug in BASELINE_REGISTRY}
+
+
 __all__ = [
     "TABLE1_FEATURES",
+    "TABLE1_ORDER",
+    "OVERHEAD_ORDER",
+    "BASELINE_REGISTRY",
     "DataMovementSolution",
     "FeatureProfile",
     "OverheadProfile",
@@ -69,6 +133,8 @@ __all__ = [
     "SparseProgrammableDataflowModel",
     "DataMaestroSolution",
     "workload_as_gemm",
+    "create_baseline",
+    "describe_baselines",
     "table1_solutions",
     "throughput_baselines",
     "overhead_comparison",

@@ -84,6 +84,22 @@ class DataMovementSolution:
     #: Publication reference, for reports.
     reference: str = ""
 
+    @property
+    def slug(self) -> str:
+        """Registry identifier of this model.
+
+        ``BASELINE_REGISTRY`` stamps its authoritative key onto every model
+        it instantiates; models built directly fall back to a slug derived
+        from the display name.
+        """
+        assigned = getattr(self, "_slug", None)
+        if assigned is not None:
+            return assigned
+        text = self.name.lower()
+        for old, new in ((" (", "-"), (")", ""), (" ", "-"), ("[", ""), ("]", ""), (".", "")):
+            text = text.replace(old, new)
+        return text
+
     def feature_profile(self) -> FeatureProfile:
         raise NotImplementedError
 
@@ -110,7 +126,12 @@ class DataMovementSolution:
 
     # ------------------------------------------------------------------
     def describe(self) -> Dict[str, object]:
-        data: Dict[str, object] = {"name": self.name, "reference": self.reference}
+        data: Dict[str, object] = {
+            "name": self.name,
+            "slug": self.slug,
+            "reference": self.reference,
+            "has_performance_model": self.has_performance_model,
+        }
         data.update(self.feature_profile().as_dict())
         overhead = self.overhead_profile()
         if overhead is not None:

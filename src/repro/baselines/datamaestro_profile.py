@@ -3,7 +3,8 @@
 The DataMaestro entry in the comparison tables is backed by the actual
 cycle-level system model of this repository: its utilization column in
 Fig. 10 (left) is *measured* by simulation rather than estimated by an
-analytic formula.
+analytic formula.  The measurement goes through :mod:`repro.runtime`, so a
+configured result cache makes repeated comparisons free.
 """
 
 from __future__ import annotations
@@ -11,10 +12,8 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..analysis.area import AreaModel
-from ..compiler.mapper import compile_workload
 from ..core.params import FeatureSet
 from ..system.design import AcceleratorSystemDesign, datamaestro_evaluation_system
-from ..system.system import AcceleratorSystem
 from ..workloads.spec import Workload
 from .base import DataMovementSolution, FeatureProfile, OverheadProfile
 
@@ -30,11 +29,12 @@ class DataMaestroSolution(DataMovementSolution):
         design: Optional[AcceleratorSystemDesign] = None,
         features: Optional[FeatureSet] = None,
         seed: int = 0,
+        simulator=None,
     ) -> None:
         self.design = design or datamaestro_evaluation_system()
         self.features = features or FeatureSet.all_enabled()
-        self.system = AcceleratorSystem(self.design)
         self.seed = seed
+        self._simulator = simulator
         self._cache: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
@@ -69,7 +69,19 @@ class DataMaestroSolution(DataMovementSolution):
         cached = self._cache.get(workload.name)
         if cached is not None:
             return cached
-        program = compile_workload(workload, self.design, self.features, seed=self.seed)
-        result = self.system.run(program)
-        self._cache[workload.name] = result.utilization
-        return result.utilization
+        # Imported lazily: the runtime's backend registry imports
+        # repro.baselines, so a module-level import would be circular.
+        from ..runtime.job import SimJob
+        from ..runtime.simulator import default_simulator
+
+        simulator = self._simulator or default_simulator()
+        outcome = simulator.simulate(
+            SimJob(
+                workload=workload,
+                design=self.design,
+                features=self.features,
+                seed=self.seed,
+            )
+        )
+        self._cache[workload.name] = outcome.utilization
+        return outcome.utilization

@@ -10,22 +10,38 @@ Provides quick access to the main entry points without writing Python:
   cycle-simulate a single GeMM kernel on the evaluation system;
 * ``python -m repro.cli simulate-conv 16 16 16 32 --kernel 3 --stride 1`` —
   the same for a convolution layer;
+* ``python -m repro.cli batch gemm:64x64x64 conv:16x16x16x32:k3:p1`` — run a
+  set of jobs through the runtime (``--jobs N`` fans out over processes,
+  results land in the on-disk cache);
+* ``python -m repro.cli sweep gemm:32x32x64 --steps 1_baseline,6_full`` —
+  sweep the ablation feature ladder over one or more workloads;
+* ``python -m repro.cli selftest`` — tiny cached GeMM end-to-end smoke test;
 * ``python -m repro.cli suite-info`` — describe the synthetic ablation suite.
+
+All simulation goes through :mod:`repro.runtime`; ``--jobs``, ``--cache-dir``
+and ``--no-cache`` control parallelism and result caching wherever they
+appear.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
+import tempfile
 from typing import List, Optional
 
-from .analysis.reporting import format_table
-from .compiler import compile_workload
-from .core.params import FeatureSet
+from .analysis.reporting import format_comparison, format_table
+from .core.params import FeatureSet, ablation_feature_sets
 from .experiments import EXPERIMENTS
-from .system.design import datamaestro_evaluation_system
-from .system.system import AcceleratorSystem
-from .workloads.spec import ConvWorkload, GemmWorkload
+from .runtime import (
+    DATAMAESTRO_BACKEND,
+    SimJob,
+    Simulator,
+    available_backends,
+    default_cache_dir,
+)
+from .workloads.spec import ConvWorkload, GemmWorkload, Workload
 from .workloads.synthetic import FULL_SUITE_COUNTS, synthetic_suite
 
 
@@ -35,20 +51,163 @@ def _features_from_args(args: argparse.Namespace) -> FeatureSet:
     return FeatureSet.all_enabled()
 
 
-def _print_simulation(result, program) -> None:
+# ----------------------------------------------------------------------
+# Runtime plumbing shared by the simulation-running subcommands.
+# ----------------------------------------------------------------------
+def _add_runtime_flags(
+    parser: argparse.ArgumentParser, cache_default: bool = False
+) -> None:
+    """Attach the shared --jobs / --cache-dir / --no-cache flags.
+
+    ``cache_default`` decides whether the command caches when neither
+    ``--cache-dir`` nor ``--no-cache`` is given (batch/sweep do; the
+    single-shot commands do not).
+    """
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for batched simulation (default: 1, in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="result-cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-datamaestro)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache",
+    )
+    parser.set_defaults(cache_default=cache_default)
+
+
+def _simulator_from_args(args: argparse.Namespace) -> Simulator:
+    """Build the Simulator the runtime flags describe."""
+    if getattr(args, "no_cache", False):
+        cache_dir = None
+    elif getattr(args, "cache_dir", None):
+        cache_dir = args.cache_dir
+    elif getattr(args, "cache_default", False):
+        cache_dir = default_cache_dir()
+    else:
+        cache_dir = None
+    return Simulator(cache_dir=cache_dir, max_workers=getattr(args, "jobs", 1))
+
+
+def parse_workload_spec(text: str) -> Workload:
+    """Parse a CLI workload spec.
+
+    Formats::
+
+        gemm:MxNxK[:t][:q]           (t = transposed A, q = quantize)
+        conv:HxWxCINxCOUT[:kN][:sN][:pN][:q]
+    """
+    tokens = text.split(":")
+    kind = tokens[0].lower()
+    if len(tokens) < 2:
+        raise ValueError(f"workload spec {text!r} is missing its dimensions")
+    dims = tokens[1].lower().split("x")
+    flags = [token.lower() for token in tokens[2:]]
+    if kind == "gemm":
+        if len(dims) != 3:
+            raise ValueError(f"gemm spec needs MxNxK dimensions, got {text!r}")
+        m, n, k = (int(value) for value in dims)
+        transposed = "t" in flags
+        quantize = "q" in flags
+        unknown = [f for f in flags if f not in ("t", "q")]
+        if unknown:
+            raise ValueError(f"unknown gemm flags {unknown} in {text!r}")
+        name = f"cli_gemm_{m}x{n}x{k}" + ("_t" if transposed else "")
+        return GemmWorkload(
+            name=name, m=m, n=n, k=k, transposed_a=transposed, quantize=quantize
+        )
+    if kind == "conv":
+        if len(dims) != 4:
+            raise ValueError(f"conv spec needs HxWxCINxCOUT dimensions, got {text!r}")
+        height, width, cin, cout = (int(value) for value in dims)
+        kernel, stride, padding, quantize = 3, 1, 0, False
+        for flag in flags:
+            if flag == "q":
+                quantize = True
+            elif flag.startswith("k") and flag[1:].isdigit():
+                kernel = int(flag[1:])
+            elif flag.startswith("s") and flag[1:].isdigit():
+                stride = int(flag[1:])
+            elif flag.startswith("p") and flag[1:].isdigit():
+                padding = int(flag[1:])
+            else:
+                raise ValueError(f"unknown conv flag {flag!r} in {text!r}")
+        name = f"cli_conv_{height}x{width}x{cin}_{cout}_k{kernel}s{stride}p{padding}"
+        return ConvWorkload(
+            name=name,
+            in_height=height,
+            in_width=width,
+            in_channels=cin,
+            out_channels=cout,
+            kernel_h=kernel,
+            kernel_w=kernel,
+            stride=stride,
+            padding=padding,
+            quantize=quantize,
+        )
+    raise ValueError(f"unknown workload kind {kind!r} (use gemm: or conv:)")
+
+
+def _print_outcomes(outcomes, title: str) -> None:
     rows = [
-        ["workload", program.name],
-        ["ideal compute cycles", result.ideal_compute_cycles],
-        ["kernel cycles", result.kernel_cycles],
-        ["utilization", f"{result.utilization:.2%}"],
-        ["memory word reads", result.memory_reads],
-        ["memory word writes", result.memory_writes],
-        ["bank conflicts", result.bank_conflicts],
-        ["pre-pass cycles", result.prepass_cycles],
+        [
+            outcome.workload_name,
+            outcome.backend,
+            f"{outcome.utilization:.2%}",
+            outcome.kernel_cycles,
+            outcome.memory_accesses,
+            "hit" if outcome.cache_hit else "miss",
+        ]
+        for outcome in outcomes
+    ]
+    print(
+        format_table(
+            ["workload", "backend", "utilization", "kernel cycles", "mem accesses", "cache"],
+            rows,
+            title=title,
+        )
+    )
+
+
+def _print_runtime_stats(simulator: Simulator) -> None:
+    stats = simulator.stats
+    cache_text = (
+        f"cache dir {simulator.cache.directory}" if simulator.cache else "cache off"
+    )
+    print(
+        f"runtime: {stats.executed} simulated, {stats.cache_hits} cache hits, "
+        f"{stats.deduplicated} deduplicated ({cache_text})"
+    )
+
+
+def _print_simulation(outcome) -> None:
+    rows = [
+        ["workload", outcome.workload_name],
+        ["backend", outcome.backend],
+        ["ideal compute cycles", outcome.ideal_compute_cycles],
+        ["kernel cycles", outcome.kernel_cycles],
+        ["utilization", f"{outcome.utilization:.2%}"],
+        ["memory accesses", outcome.memory_accesses],
+        ["bank conflicts", outcome.bank_conflicts],
+        ["pre-pass cycles", outcome.prepass_cycles],
+        ["functional match", outcome.functional_match],
+        ["cache", "hit" if outcome.cache_hit else "miss"],
     ]
     print(format_table(["metric", "value"], rows, title="Simulation result"))
 
 
+# ----------------------------------------------------------------------
+# Subcommands.
+# ----------------------------------------------------------------------
 def cmd_list_experiments(_args: argparse.Namespace) -> int:
     rows = []
     descriptions = {
@@ -74,13 +233,19 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.name == "fig7" and args.workloads_per_group is not None:
         kwargs["workloads_per_group"] = args.workloads_per_group
+    parameters = inspect.signature(module.run).parameters
+    simulator = None
+    if "simulator" in parameters:
+        simulator = _simulator_from_args(args)
+        kwargs["simulator"] = simulator
     results = module.run(**kwargs)
     print(module.report(results))
+    if simulator is not None:
+        _print_runtime_stats(simulator)
     return 0
 
 
 def cmd_simulate_gemm(args: argparse.Namespace) -> int:
-    design = datamaestro_evaluation_system()
     workload = GemmWorkload(
         name=f"cli_gemm_{args.m}x{args.n}x{args.k}",
         m=args.m,
@@ -89,14 +254,14 @@ def cmd_simulate_gemm(args: argparse.Namespace) -> int:
         transposed_a=args.transposed,
         quantize=args.quantize,
     )
-    program = compile_workload(workload, design, _features_from_args(args))
-    result = AcceleratorSystem(design).run(program)
-    _print_simulation(result, program)
+    outcome = _simulator_from_args(args).simulate(
+        SimJob(workload=workload, features=_features_from_args(args))
+    )
+    _print_simulation(outcome)
     return 0
 
 
 def cmd_simulate_conv(args: argparse.Namespace) -> int:
-    design = datamaestro_evaluation_system()
     workload = ConvWorkload(
         name=f"cli_conv_{args.height}x{args.width}x{args.cin}_{args.cout}",
         in_height=args.height,
@@ -109,9 +274,111 @@ def cmd_simulate_conv(args: argparse.Namespace) -> int:
         padding=args.padding,
         quantize=args.quantize,
     )
-    program = compile_workload(workload, design, _features_from_args(args))
-    result = AcceleratorSystem(design).run(program)
-    _print_simulation(result, program)
+    outcome = _simulator_from_args(args).simulate(
+        SimJob(workload=workload, features=_features_from_args(args))
+    )
+    _print_simulation(outcome)
+    return 0
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    try:
+        workloads = [parse_workload_spec(spec) for spec in args.workloads]
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.backend not in available_backends():
+        print(
+            f"error: unknown backend {args.backend!r}; "
+            f"available: {available_backends()}",
+            file=sys.stderr,
+        )
+        return 2
+    simulator = _simulator_from_args(args)
+    features = _features_from_args(args)
+    jobs = [
+        SimJob(workload=workload, features=features, backend=args.backend, seed=args.seed)
+        for workload in workloads
+    ]
+    outcomes = simulator.simulate_many(jobs)
+    _print_outcomes(outcomes, f"Batch results ({len(jobs)} jobs)")
+    _print_runtime_stats(simulator)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        workloads = [parse_workload_spec(spec) for spec in args.workloads]
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.backend and args.backend not in available_backends():
+        print(
+            f"error: unknown backend {args.backend!r}; "
+            f"available: {available_backends()}",
+            file=sys.stderr,
+        )
+        return 2
+    ladder = ablation_feature_sets()
+    step_names = list(ladder) if args.steps is None else args.steps.split(",")
+    unknown = [step for step in step_names if step not in ladder]
+    if unknown:
+        print(
+            f"error: unknown ablation steps {unknown}; available: {list(ladder)}",
+            file=sys.stderr,
+        )
+        return 2
+    simulator = _simulator_from_args(args)
+    outcomes = simulator.sweep(
+        workloads,
+        features=[ladder[step] for step in step_names],
+        backends=(args.backend,) if args.backend else (DATAMAESTRO_BACKEND,),
+        seed=args.seed,
+    )
+    # sweep() nests feature sets outside workloads, in deterministic order.
+    comparison = {workload.name: {} for workload in workloads}
+    for index, outcome in enumerate(outcomes):
+        step = step_names[index // len(workloads)]
+        workload = workloads[index % len(workloads)]
+        comparison[workload.name][step] = outcome.utilization
+    print(
+        format_comparison(
+            "Feature-ladder sweep: GeMM-core utilization per architecture step",
+            comparison,
+        )
+    )
+    _print_runtime_stats(simulator)
+    return 0
+
+
+def cmd_selftest(args: argparse.Namespace) -> int:
+    """Run one tiny GeMM job end-to-end, twice, through a result cache."""
+    cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="repro-selftest-")
+    workload = GemmWorkload(name="selftest_gemm", m=16, n=16, k=16)
+    job = SimJob(workload=workload, label="selftest")
+
+    cold = Simulator(cache_dir=cache_dir)
+    outcome = cold.simulate(job)
+    warm = Simulator(cache_dir=cache_dir)
+    cached = warm.simulate(job)
+
+    checks = [
+        ("cycle simulation ran", cold.stats.executed == 1),
+        ("functional match vs numpy", outcome.functional_match is True),
+        ("utilization in (0, 1]", 0.0 < outcome.utilization <= 1.0),
+        ("second run served from cache", warm.stats.executed == 0 and cached.cache_hit),
+        ("cached outcome identical", cached.as_dict() == {**outcome.as_dict(), "cache_hit": True}),
+    ]
+    failed = [label for label, ok in checks if not ok]
+    for label, ok in checks:
+        print(f"  [{'ok' if ok else 'FAIL'}] {label}")
+    if failed:
+        print(f"selftest FAILED: {failed}", file=sys.stderr)
+        return 1
+    print(
+        f"selftest ok: {workload.name} at {outcome.utilization:.2%} utilization, "
+        f"{outcome.kernel_cycles} cycles (cache: {cache_dir})"
+    )
     return 0
 
 
@@ -155,6 +422,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="subset size per workload group (fig7 only)",
     )
+    _add_runtime_flags(experiment)
     experiment.set_defaults(func=cmd_experiment)
 
     gemm = subparsers.add_parser("simulate-gemm", help="simulate one GeMM kernel")
@@ -164,6 +432,7 @@ def build_parser() -> argparse.ArgumentParser:
     gemm.add_argument("--transposed", action="store_true", help="A operand stored transposed")
     gemm.add_argument("--quantize", action="store_true", help="requantize the output to int8")
     gemm.add_argument("--baseline", action="store_true", help="disable every DataMaestro feature")
+    _add_runtime_flags(gemm)
     gemm.set_defaults(func=cmd_simulate_gemm)
 
     conv = subparsers.add_parser("simulate-conv", help="simulate one convolution layer")
@@ -176,7 +445,52 @@ def build_parser() -> argparse.ArgumentParser:
     conv.add_argument("--padding", type=int, default=0)
     conv.add_argument("--quantize", action="store_true")
     conv.add_argument("--baseline", action="store_true")
+    _add_runtime_flags(conv)
     conv.set_defaults(func=cmd_simulate_conv)
+
+    batch = subparsers.add_parser(
+        "batch", help="run a batch of workload jobs through the runtime"
+    )
+    batch.add_argument(
+        "workloads",
+        nargs="+",
+        metavar="SPEC",
+        help="workload specs, e.g. gemm:64x64x64 or conv:16x16x16x32:k3:p1",
+    )
+    batch.add_argument(
+        "--backend",
+        default=DATAMAESTRO_BACKEND,
+        help="simulation backend (datamaestro or baseline:<slug>)",
+    )
+    batch.add_argument("--seed", type=int, default=0)
+    batch.add_argument("--baseline", action="store_true", help="disable every DataMaestro feature")
+    _add_runtime_flags(batch, cache_default=True)
+    batch.set_defaults(func=cmd_batch)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="sweep the ablation feature ladder over workloads"
+    )
+    sweep.add_argument("workloads", nargs="+", metavar="SPEC")
+    sweep.add_argument(
+        "--steps",
+        default=None,
+        help="comma-separated ablation steps (default: all six)",
+    )
+    sweep.add_argument("--backend", default=None, help="simulation backend")
+    sweep.add_argument("--seed", type=int, default=0)
+    _add_runtime_flags(sweep, cache_default=True)
+    sweep.set_defaults(func=cmd_sweep)
+
+    selftest = subparsers.add_parser(
+        "selftest", help="tiny cached GeMM end-to-end smoke test"
+    )
+    selftest.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="cache directory (default: a fresh temporary directory)",
+    )
+    selftest.set_defaults(func=cmd_selftest)
 
     subparsers.add_parser(
         "suite-info", help="describe the synthetic ablation workload suite"

@@ -21,6 +21,7 @@ from ..analysis.area import AreaModel
 from ..analysis.power import gemm64_power_report
 from ..analysis.reporting import format_comparison, format_table
 from ..baselines import DataMaestroSolution, overhead_comparison, throughput_baselines
+from ..runtime.simulator import Simulator
 from ..system.design import AcceleratorSystemDesign, datamaestro_evaluation_system
 from ..workloads.spec import ConvWorkload, GemmWorkload, Workload
 
@@ -71,10 +72,16 @@ def comparison_kernels() -> List[Workload]:
     ]
 
 
-def run(design: Optional[AcceleratorSystemDesign] = None, seed: int = 0) -> Dict[str, object]:
+def run(
+    design: Optional[AcceleratorSystemDesign] = None,
+    seed: int = 0,
+    simulator: Optional[Simulator] = None,
+) -> Dict[str, object]:
     design = design or datamaestro_evaluation_system()
     kernels = comparison_kernels()
-    datamaestro = DataMaestroSolution(design, seed=seed)
+    datamaestro = DataMaestroSolution(design, seed=seed, simulator=simulator)
+    # Comparators come from the capability-filtered BASELINE_REGISTRY, not a
+    # hand-written list.
     baselines = throughput_baselines()
 
     throughput: Dict[str, Dict[str, float]] = {}
@@ -103,7 +110,9 @@ def run(design: Optional[AcceleratorSystemDesign] = None, seed: int = 0) -> Dict
 
     # Right panel: data movement area/power overhead.
     area_shares = AreaModel(design).system_breakdown().shares_percent()
-    power_shares = gemm64_power_report(design, seed=seed)["power_shares_percent"]
+    power_shares = gemm64_power_report(design, seed=seed, simulator=simulator)[
+        "power_shares_percent"
+    ]
     overhead = {
         name: {
             "area_percent": profile.area_percent,

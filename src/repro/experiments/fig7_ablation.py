@@ -20,6 +20,7 @@ from typing import Dict, Optional
 
 from ..analysis.ablation import STEP_LABELS, AblationResults, AblationStudy
 from ..analysis.reporting import format_comparison, format_table
+from ..runtime.simulator import Simulator
 from ..system.design import AcceleratorSystemDesign
 from ..workloads.spec import WorkloadGroup
 from ..workloads.synthetic import synthetic_suite
@@ -61,12 +62,18 @@ def run(
     full: Optional[bool] = None,
     design: Optional[AcceleratorSystemDesign] = None,
     seed: int = 0,
+    simulator: Optional[Simulator] = None,
 ) -> Dict[str, object]:
-    """Run the ablation sweep and return the Figure 7 summaries."""
+    """Run the ablation sweep and return the Figure 7 summaries.
+
+    ``simulator`` routes every cycle simulation through a shared
+    :class:`~repro.runtime.simulator.Simulator` — pass one with a result
+    cache and/or worker pool to make repeated runs incremental and parallel.
+    """
     use_full = full_suite_requested(full)
     if workloads_per_group is None:
         workloads_per_group = None if use_full else DEFAULT_WORKLOADS_PER_GROUP
-    study = AblationStudy(design=design, seed=seed)
+    study = AblationStudy(design=design, seed=seed, simulator=simulator)
     results: AblationResults = study.run(
         suite=synthetic_suite(), workloads_per_group=workloads_per_group
     )

@@ -21,13 +21,20 @@ from ..analysis.area import AreaModel
 from ..analysis.power import gemm64_power_report
 from ..analysis.reporting import format_percentage_map, format_table
 from ..analysis.technology import PAPER_SILICON_REFERENCE
+from ..runtime.simulator import Simulator
 from ..system.design import AcceleratorSystemDesign
 
 
-def run(design: Optional[AcceleratorSystemDesign] = None, seed: int = 0) -> Dict[str, object]:
+def run(
+    design: Optional[AcceleratorSystemDesign] = None,
+    seed: int = 0,
+    simulator: Optional[Simulator] = None,
+) -> Dict[str, object]:
     area_model = AreaModel(design)
     area = area_model.system_breakdown()
-    power_report = gemm64_power_report(design, area_breakdown=area, seed=seed)
+    power_report = gemm64_power_report(
+        design, area_breakdown=area, seed=seed, simulator=simulator
+    )
     return {
         "area_shares_percent": area.shares_percent(),
         "streamer_area_shares_percent": area.streamer_shares_percent(),

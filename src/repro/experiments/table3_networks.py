@@ -12,6 +12,7 @@ from typing import Dict, Optional
 
 from ..analysis.network_perf import NetworkPerformanceEstimator
 from ..analysis.reporting import format_table
+from ..runtime.simulator import Simulator
 from ..system.design import AcceleratorSystemDesign
 from ..workloads.networks import benchmark_networks
 
@@ -28,8 +29,9 @@ def run(
     design: Optional[AcceleratorSystemDesign] = None,
     networks: Optional[Dict[str, object]] = None,
     seed: int = 0,
+    simulator: Optional[Simulator] = None,
 ) -> Dict[str, object]:
-    estimator = NetworkPerformanceEstimator(design=design, seed=seed)
+    estimator = NetworkPerformanceEstimator(design=design, seed=seed, simulator=simulator)
     models = networks or benchmark_networks()
     estimates = estimator.estimate_networks(models)
     summary = {}

@@ -1,0 +1,60 @@
+"""Unified simulation-service layer: declarative jobs, batching, caching.
+
+This package is the single front door for running simulations in the
+repository.  It mirrors the paper's decoupled access/execute idea at the
+Python API level: a :class:`SimJob` *describes* a simulation (workload,
+design, features, backend) and the runtime decides *how* to execute it —
+which backend, in-process or across a worker pool, freshly simulated or
+served from the on-disk result cache.
+
+* :mod:`repro.runtime.job` — :class:`SimJob`, the hashable job spec;
+* :mod:`repro.runtime.outcome` — :class:`SimOutcome`, the uniform result;
+* :mod:`repro.runtime.backends` — backend protocol + registry (the
+  cycle-level DataMaestro system and the analytic baseline models);
+* :mod:`repro.runtime.cache` — content-addressed on-disk result cache;
+* :mod:`repro.runtime.batch` — :class:`BatchRunner` with process-pool
+  fan-out, dedup and deterministic ordering;
+* :mod:`repro.runtime.simulator` — the :class:`Simulator` facade.
+
+See ``docs/RUNTIME.md`` for the job model, caching semantics and how to add
+a backend.
+"""
+
+from .backends import (
+    BASELINE_BACKEND_PREFIX,
+    BaselineModelBackend,
+    DataMaestroBackend,
+    SimulationBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from .batch import BatchRunner, BatchStats, execute_job
+from .cache import CACHE_DIR_ENV, ResultCache, default_cache_dir
+from .job import DATAMAESTRO_BACKEND, SimJob, canonical_encode, stable_digest
+from .outcome import SimOutcome
+from .simulator import Simulator, default_simulator, simulate
+
+__all__ = [
+    "SimJob",
+    "SimOutcome",
+    "Simulator",
+    "BatchRunner",
+    "BatchStats",
+    "ResultCache",
+    "SimulationBackend",
+    "DataMaestroBackend",
+    "BaselineModelBackend",
+    "simulate",
+    "default_simulator",
+    "execute_job",
+    "get_backend",
+    "register_backend",
+    "available_backends",
+    "default_cache_dir",
+    "canonical_encode",
+    "stable_digest",
+    "DATAMAESTRO_BACKEND",
+    "BASELINE_BACKEND_PREFIX",
+    "CACHE_DIR_ENV",
+]

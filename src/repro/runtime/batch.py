@@ -1,0 +1,113 @@
+"""Batched job execution: cache screening, deduplication, worker fan-out.
+
+:class:`BatchRunner` executes a list of jobs with three guarantees:
+
+* **deterministic ordering** — the i-th outcome always corresponds to the
+  i-th submitted job, whether it was served from cache, deduplicated or
+  computed on a worker process;
+* **incrementality** — jobs whose hash is already in the
+  :class:`~repro.runtime.cache.ResultCache` are never re-simulated, and
+  duplicate jobs inside one batch are simulated once;
+* **isolation** — worker processes receive the pickled job and resolve the
+  backend themselves, so backends keep no shared mutable state.
+
+With ``max_workers`` ≤ 1 everything runs in-process (the default, and what
+the test suite uses); larger values fan the cache misses out over a
+``ProcessPoolExecutor``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from .backends import get_backend
+from .cache import ResultCache
+from .job import SimJob
+from .outcome import SimOutcome
+
+
+def execute_job(job: SimJob) -> SimOutcome:
+    """Run one job through its backend (module-level so pools can pickle it)."""
+    return get_backend(job.backend).execute(job)
+
+
+@dataclass
+class BatchStats:
+    """Execution counters of one runner (accumulated across ``run`` calls)."""
+
+    executed: int = 0
+    cache_hits: int = 0
+    deduplicated: int = 0
+
+    def merge(self, other: "BatchStats") -> None:
+        self.executed += other.executed
+        self.cache_hits += other.cache_hits
+        self.deduplicated += other.deduplicated
+
+
+class BatchRunner:
+    """Runs many jobs with caching, dedup and optional process-pool fan-out."""
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        if max_workers is not None and max_workers < 0:
+            raise ValueError("max_workers must be non-negative")
+        self.cache = cache
+        self.max_workers = max_workers
+        self.stats = BatchStats()
+
+    # ------------------------------------------------------------------
+    def run(self, jobs: Iterable[SimJob]) -> List[SimOutcome]:
+        """Execute ``jobs``; outcome order equals submission order."""
+        jobs = list(jobs)
+        outcomes: List[Optional[SimOutcome]] = [None] * len(jobs)
+        keys = [job.job_hash() for job in jobs]
+
+        # 1. Screen against the cache and deduplicate within the batch.
+        first_index: Dict[str, int] = {}
+        pending: List[int] = []
+        for index, (job, key) in enumerate(zip(jobs, keys)):
+            if self.cache is not None:
+                hit = self.cache.get(key)
+                if hit is not None:
+                    outcomes[index] = hit
+                    self.stats.cache_hits += 1
+                    continue
+            if key in first_index:
+                self.stats.deduplicated += 1
+                continue
+            first_index[key] = index
+            pending.append(index)
+
+        # 2. Execute the unique misses (in submission order).
+        if pending:
+            fresh = self._execute([jobs[i] for i in pending])
+            for index, outcome in zip(pending, fresh):
+                outcomes[index] = outcome
+                if self.cache is not None:
+                    self.cache.put(keys[index], outcome)
+            self.stats.executed += len(pending)
+
+        # 3. Fan deduplicated / late cache consumers back out.
+        for index, (key, outcome) in enumerate(zip(keys, outcomes)):
+            if outcome is None:
+                source = outcomes[first_index[key]]
+                assert source is not None
+                outcomes[index] = source
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    # ------------------------------------------------------------------
+    def _execute(self, jobs: List[SimJob]) -> List[SimOutcome]:
+        workers = self.max_workers or 1
+        workers = min(workers, len(jobs))
+        if workers <= 1:
+            return [execute_job(job) for job in jobs]
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # Executor.map preserves input order, giving deterministic output.
+            return list(pool.map(execute_job, jobs))

@@ -1,0 +1,117 @@
+"""On-disk content-addressed result cache.
+
+Outcomes are stored one-per-file under ``<root>/v<package-version>/`` with
+the job hash as the filename, so:
+
+* a cache entry is valid for exactly one (workload, design, features,
+  backend, seed, budget) combination — any change produces a new key;
+* bumping the package version invalidates every previous entry without
+  touching the files (old versions keep their own subdirectory);
+* concurrent writers are safe: entries are written to a temporary file and
+  atomically renamed into place.
+
+The cache stores :class:`~repro.runtime.outcome.SimOutcome` records via
+pickle.  Unreadable entries (corrupt files, entries written by incompatible
+code) are treated as misses and removed.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from .outcome import SimOutcome
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """Default cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-datamaestro``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-datamaestro"
+
+
+class ResultCache:
+    """Content-addressed store of simulation outcomes, keyed by job hash."""
+
+    def __init__(self, root: Union[str, Path], version: Optional[str] = None) -> None:
+        if version is None:
+            from .. import __version__ as version
+        self.root = Path(root)
+        self.version = str(version)
+        self.directory = self.root / f"v{self.version}"
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.pkl"))
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[SimOutcome]:
+        """Return the cached outcome for ``key``, or ``None`` on a miss."""
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as handle:
+                outcome = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, EOFError, pickle.UnpicklingError, AttributeError, TypeError):
+            # Corrupt or incompatible entry: drop it and report a miss.
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        if not isinstance(outcome, SimOutcome):
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        outcome.cache_hit = True
+        self.hits += 1
+        return outcome
+
+    def put(self, key: str, outcome: SimOutcome) -> None:
+        """Store ``outcome`` under ``key`` (atomic replace)."""
+        path = self.path_for(key)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key[:16]}-", suffix=".tmp", dir=str(self.directory)
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(outcome, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every entry of this version; return how many were removed."""
+        removed = 0
+        for path in self.directory.glob("*.pkl"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def stats(self) -> dict:
+        return {
+            "directory": str(self.directory),
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+        }

@@ -1,0 +1,138 @@
+"""Declarative simulation jobs: the unit of work of :mod:`repro.runtime`.
+
+A :class:`SimJob` is a complete, self-contained description of one
+simulation — *what* workload to run, on *which* hardware design, with *which*
+feature switches, through *which* backend — without saying anything about
+*how* it is executed.  The runtime (``Simulator`` / ``BatchRunner``) decides
+that: in-process or on a worker pool, freshly simulated or served from the
+result cache.
+
+Jobs are frozen dataclasses, hence hashable and picklable, and expose a
+*stable* content hash (:meth:`SimJob.job_hash`) built from a canonical
+encoding of every behaviour-affecting field.  The hash is identical across
+processes and interpreter restarts (unlike built-in ``hash()``), which makes
+it usable as an on-disk cache key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional
+
+from ..core.params import FeatureSet
+from ..system.design import AcceleratorSystemDesign, datamaestro_evaluation_system
+from ..workloads.spec import Workload
+
+#: Name of the cycle-level DataMaestro system backend (the default).
+DATAMAESTRO_BACKEND = "datamaestro"
+
+
+def canonical_encode(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-serialisable structure with a stable layout.
+
+    Dataclasses become ``[type-name, [[field, value], ...]]`` with fields in
+    declaration order, enums become their value, tuples become lists and
+    mappings are sorted by key — so two structurally equal objects always
+    produce the same encoding regardless of process or insertion order.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = [
+            [f.name, canonical_encode(getattr(obj, f.name))]
+            for f in dataclasses.fields(obj)
+        ]
+        return [type(obj).__name__, fields]
+    if isinstance(obj, enum.Enum):
+        return [type(obj).__name__, obj.value]
+    if isinstance(obj, (tuple, list)):
+        return [canonical_encode(item) for item in obj]
+    if isinstance(obj, dict):
+        return [[canonical_encode(k), canonical_encode(v)] for k, v in sorted(obj.items())]
+    if isinstance(obj, float):
+        return repr(obj)
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    raise TypeError(f"cannot canonically encode {type(obj)!r} for job hashing")
+
+
+def stable_digest(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical encoding of ``obj``."""
+    encoded = json.dumps(canonical_encode(obj), separators=(",", ":"), sort_keys=False)
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One declarative simulation request.
+
+    Parameters
+    ----------
+    workload:
+        The GeMM/convolution kernel to simulate.
+    design:
+        Hardware design point; ``None`` selects the paper's evaluation
+        system (resolved eagerly so the job hash covers the real design).
+    features:
+        DataMaestro feature switchboard; ``None`` means all enabled.
+    backend:
+        Registered backend name (``"datamaestro"`` for the cycle-level
+        system, ``"baseline:<slug>"`` for the analytic comparator models).
+    seed:
+        Operand-data seed forwarded to the compiler.
+    max_cycles:
+        Cycle budget for cycle-level backends.
+    label:
+        Free-form tag for reports; *excluded* from the job hash.
+    """
+
+    workload: Workload
+    design: Optional[AcceleratorSystemDesign] = None
+    features: Optional[FeatureSet] = None
+    backend: str = DATAMAESTRO_BACKEND
+    seed: int = 0
+    max_cycles: int = 5_000_000
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.design is None:
+            object.__setattr__(self, "design", datamaestro_evaluation_system())
+        if self.features is None:
+            object.__setattr__(self, "features", FeatureSet.all_enabled())
+        if not self.backend:
+            raise ValueError("backend name must be non-empty")
+        if self.max_cycles <= 0:
+            raise ValueError("max_cycles must be positive")
+
+    # ------------------------------------------------------------------
+    def job_hash(self) -> str:
+        """Stable content hash of every behaviour-affecting field."""
+        payload = {
+            "workload": canonical_encode(self.workload),
+            "design": canonical_encode(self.design),
+            "features": canonical_encode(self.features),
+            "backend": self.backend,
+            "seed": self.seed,
+            "max_cycles": self.max_cycles,
+        }
+        return stable_digest(payload)
+
+    def with_updates(self, **changes: object) -> "SimJob":
+        """Copy with selected fields replaced (mirrors the spec idiom)."""
+        return replace(self, **changes)
+
+    def describe(self) -> Dict[str, object]:
+        """Provenance-friendly summary of the job."""
+        return {
+            "workload": self.workload.name,
+            "group": self.workload.group.value,
+            "design": self.design.name,
+            "features": self.features.as_dict(),
+            "backend": self.backend,
+            "seed": self.seed,
+            "max_cycles": self.max_cycles,
+            "label": self.label,
+            "job_hash": self.job_hash(),
+        }

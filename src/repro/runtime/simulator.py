@@ -1,0 +1,138 @@
+"""The :class:`Simulator` facade — the single front door for simulation.
+
+Callers describe *what* to simulate as :class:`~repro.runtime.job.SimJob`
+values; the simulator decides *how*: which backend executes it, whether the
+result comes from the on-disk cache, and whether batches fan out over a
+process pool.  All experiment modules, the analysis drivers and the CLI go
+through this facade.
+
+Typical use::
+
+    from repro.runtime import SimJob, Simulator
+
+    sim = Simulator(cache_dir="~/.cache/repro-datamaestro", max_workers=4)
+    outcome = sim.simulate(SimJob(workload=my_gemm))
+    outcomes = sim.simulate_many([SimJob(workload=w) for w in suite])
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from ..core.params import FeatureSet
+from ..system.design import AcceleratorSystemDesign
+from ..workloads.spec import Workload
+from .backends import get_backend
+from .batch import BatchRunner, BatchStats
+from .cache import ResultCache
+from .job import DATAMAESTRO_BACKEND, SimJob
+from .outcome import SimOutcome
+
+
+class Simulator:
+    """Compiles, runs and caches simulation jobs behind one uniform API.
+
+    Parameters
+    ----------
+    cache:
+        A ready-made :class:`ResultCache`, or ``None``.
+    cache_dir:
+        Convenience alternative to ``cache``: directory for a new result
+        cache.  Ignored when ``cache`` is given.  When both are ``None``
+        (the default) nothing is cached.
+    max_workers:
+        Default process-pool width for :meth:`simulate_many` /
+        :meth:`sweep`; ``None`` or ``1`` runs in-process.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        if cache is None and cache_dir is not None:
+            cache = ResultCache(Path(cache_dir).expanduser())
+        self.cache = cache
+        self.max_workers = max_workers
+        self.stats = BatchStats()
+
+    # ------------------------------------------------------------------
+    def simulate(self, job: SimJob) -> SimOutcome:
+        """Execute one job (through the cache when one is configured)."""
+        if self.cache is not None:
+            hit = self.cache.get(job.job_hash())
+            if hit is not None:
+                self.stats.cache_hits += 1
+                return hit
+        outcome = get_backend(job.backend).execute(job)
+        self.stats.executed += 1
+        if self.cache is not None:
+            self.cache.put(job.job_hash(), outcome)
+        return outcome
+
+    def simulate_many(
+        self,
+        jobs: Iterable[SimJob],
+        max_workers: Optional[int] = None,
+    ) -> List[SimOutcome]:
+        """Execute a batch; outcome order always equals submission order."""
+        runner = BatchRunner(
+            cache=self.cache,
+            max_workers=self.max_workers if max_workers is None else max_workers,
+        )
+        outcomes = runner.run(jobs)
+        self.stats.merge(runner.stats)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    def sweep(
+        self,
+        workloads: Sequence[Workload],
+        features: Optional[Sequence[FeatureSet]] = None,
+        designs: Optional[Sequence[Optional[AcceleratorSystemDesign]]] = None,
+        backends: Sequence[str] = (DATAMAESTRO_BACKEND,),
+        seed: int = 0,
+        max_workers: Optional[int] = None,
+    ) -> List[SimOutcome]:
+        """Cartesian sweep: workloads × features × designs × backends.
+
+        Returns outcomes in the deterministic nesting order
+        ``for backend / for design / for feature-set / for workload``.
+        """
+        feature_axis: Sequence[Optional[FeatureSet]] = features or [None]
+        design_axis = designs or [None]
+        jobs = [
+            SimJob(
+                workload=workload,
+                design=design,
+                features=feature_set,
+                backend=backend,
+                seed=seed,
+            )
+            for backend in backends
+            for design in design_axis
+            for feature_set in feature_axis
+            for workload in workloads
+        ]
+        return self.simulate_many(jobs, max_workers=max_workers)
+
+
+# ----------------------------------------------------------------------
+# Module-level default simulator (uncached, in-process).
+# ----------------------------------------------------------------------
+_DEFAULT_SIMULATOR: Optional[Simulator] = None
+
+
+def default_simulator() -> Simulator:
+    """Shared uncached, in-process simulator for one-off calls."""
+    global _DEFAULT_SIMULATOR
+    if _DEFAULT_SIMULATOR is None:
+        _DEFAULT_SIMULATOR = Simulator()
+    return _DEFAULT_SIMULATOR
+
+
+def simulate(job: SimJob) -> SimOutcome:
+    """Convenience wrapper: run one job on the default simulator."""
+    return default_simulator().simulate(job)

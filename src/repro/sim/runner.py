@@ -9,7 +9,7 @@ elapsed cycle count.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Protocol
+from typing import Callable, List, Optional, Protocol, Sequence
 
 from .result import SimulationLimitError
 
@@ -49,14 +49,22 @@ class CycleRunner:
         self.progress_callback = progress_callback
         self.progress_interval = int(progress_interval)
 
-    def run(self, target: Steppable) -> int:
-        """Step ``target`` until it reports completion; return cycles used."""
+    def run(self, target: Steppable, name: Optional[str] = None) -> int:
+        """Step ``target`` until it reports completion; return cycles used.
+
+        ``name`` identifies the job/program in the
+        :class:`SimulationLimitError` raised on budget exhaustion; when
+        omitted, the target's ``name`` attribute is used if it has one.
+        """
+        if name is None:
+            name = getattr(target, "name", None)
         cycles = 0
         busy = True
         while busy:
             if cycles >= self.max_cycles:
+                what = f"simulation of {name!r}" if name else "simulation"
                 raise SimulationLimitError(
-                    message="simulation exceeded its cycle budget",
+                    message=f"{what} exceeded its cycle budget",
                     cycles=cycles,
                     detail=f"max_cycles={self.max_cycles}",
                 )
@@ -69,7 +77,27 @@ class CycleRunner:
                 self.progress_callback(cycles)
         return cycles
 
+    def run_many(
+        self,
+        targets: Sequence[Steppable],
+        names: Optional[Sequence[str]] = None,
+    ) -> List[int]:
+        """Run several targets back to back; return cycles used per target.
 
-def run_to_completion(target: Steppable, max_cycles: int = 10_000_000) -> int:
+        Each target gets the full ``max_cycles`` budget, and the progress
+        callback keeps its per-target cadence.  ``names`` (parallel to
+        ``targets``) labels budget-exhaustion errors.
+        """
+        if names is not None and len(names) != len(targets):
+            raise ValueError("names must parallel targets")
+        return [
+            self.run(target, name=names[index] if names is not None else None)
+            for index, target in enumerate(targets)
+        ]
+
+
+def run_to_completion(
+    target: Steppable, max_cycles: int = 10_000_000, name: Optional[str] = None
+) -> int:
     """Convenience wrapper around :class:`CycleRunner` for one-off runs."""
-    return CycleRunner(max_cycles=max_cycles).run(target)
+    return CycleRunner(max_cycles=max_cycles).run(target, name=name)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.baselines import (
+    BASELINE_REGISTRY,
     BitWaveModel,
     BuffetModel,
     DataMaestroSolution,
@@ -10,6 +11,8 @@ from repro.baselines import (
     GemminiModel,
     SoftbrainModel,
     TABLE1_FEATURES,
+    create_baseline,
+    describe_baselines,
     overhead_comparison,
     table1_solutions,
     throughput_baselines,
@@ -78,6 +81,19 @@ class TestRegistries:
     def test_describe_includes_overheads(self):
         info = BuffetModel().describe()
         assert info["data_movement_area_percent"] == 2.0
+
+    def test_registry_slugs_round_trip(self):
+        """describe() must advertise slugs create_baseline() accepts."""
+        for slug, info in describe_baselines().items():
+            assert info["slug"] == slug
+            assert create_baseline(info["slug"]).name == info["name"]
+
+    def test_create_unknown_baseline(self):
+        with pytest.raises(KeyError):
+            create_baseline("warp-drive")
+
+    def test_registry_covers_table1(self):
+        assert len(BASELINE_REGISTRY) == 10  # 9 Table I columns + Gemmini WS
 
 
 class TestWorkloadAsGemm:

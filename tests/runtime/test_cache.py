@@ -1,0 +1,71 @@
+"""Tests for the on-disk content-addressed result cache."""
+
+import pickle
+
+from repro.runtime import ResultCache, SimJob, Simulator
+from repro.system import datamaestro_evaluation_system
+from repro.workloads import GemmWorkload
+
+GEMM = GemmWorkload(name="cache_gemm", m=16, n=16, k=16)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = SimJob(workload=GEMM)
+        key = job.job_hash()
+        assert cache.get(key) is None
+
+        outcome = Simulator(cache=cache).simulate(job)
+        assert not outcome.cache_hit
+        assert key in cache
+
+        cached = cache.get(key)
+        assert cached is not None
+        assert cached.cache_hit
+        assert cached.utilization == outcome.utilization
+        assert cached.result is not None  # full cycle-level payload survives
+
+    def test_invalidation_on_design_change(self, tmp_path):
+        """A different design is a different key: no stale reuse."""
+        cache = ResultCache(tmp_path)
+        simulator = Simulator(cache=cache)
+        simulator.simulate(SimJob(workload=GEMM))
+        assert simulator.stats.executed == 1
+
+        small = datamaestro_evaluation_system(num_banks=32, gima_group_size=8)
+        outcome = simulator.simulate(SimJob(workload=GEMM, design=small))
+        assert simulator.stats.executed == 2  # design change forced a re-run
+        assert not outcome.cache_hit
+        assert len(cache) == 2
+
+    def test_version_partitions_entries(self, tmp_path):
+        job = SimJob(workload=GEMM)
+        old = ResultCache(tmp_path, version="0.9.9")
+        Simulator(cache=old).simulate(job)
+
+        new = ResultCache(tmp_path, version="1.0.0")
+        assert new.get(job.job_hash()) is None  # version bump invalidates
+        assert old.get(job.job_hash()) is not None
+
+    def test_corrupt_entry_treated_as_miss_and_removed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = SimJob(workload=GEMM).job_hash()
+        cache.path_for(key).write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+        assert key not in cache
+
+    def test_foreign_pickle_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = SimJob(workload=GEMM).job_hash()
+        cache.path_for(key).write_bytes(pickle.dumps({"not": "an outcome"}))
+        assert cache.get(key) is None
+
+    def test_clear_and_stats(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        Simulator(cache=cache).simulate(SimJob(workload=GEMM))
+        assert len(cache) == 1
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert cache.clear() == 1
+        assert len(cache) == 0

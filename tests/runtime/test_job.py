@@ -1,0 +1,123 @@
+"""Tests for the declarative SimJob spec and its stable content hash."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core import FeatureSet
+from repro.runtime import SimJob, canonical_encode, stable_digest
+from repro.system import datamaestro_evaluation_system
+from repro.workloads import ConvWorkload, GemmWorkload
+
+GEMM = GemmWorkload(name="job_gemm", m=32, n=32, k=32)
+
+
+class TestSimJob:
+    def test_defaults_resolved_eagerly(self):
+        job = SimJob(workload=GEMM)
+        assert job.design.name == "datamaestro_evaluation_system"
+        assert job.features == FeatureSet.all_enabled()
+        assert job.backend == "datamaestro"
+
+    def test_jobs_are_hashable_and_comparable(self):
+        a = SimJob(workload=GEMM)
+        b = SimJob(workload=GEMM)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_label_excluded_from_equality_and_hash(self):
+        a = SimJob(workload=GEMM, label="first")
+        b = SimJob(workload=GEMM, label="second")
+        assert a == b
+        assert a.job_hash() == b.job_hash()
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            SimJob(workload=GEMM, backend="")
+        with pytest.raises(ValueError):
+            SimJob(workload=GEMM, max_cycles=0)
+
+    def test_describe_contains_provenance_fields(self):
+        info = SimJob(workload=GEMM, label="probe").describe()
+        assert info["workload"] == "job_gemm"
+        assert info["backend"] == "datamaestro"
+        assert info["label"] == "probe"
+        assert len(info["job_hash"]) == 64
+
+
+class TestJobHash:
+    def test_hash_changes_with_workload(self):
+        a = SimJob(workload=GEMM)
+        b = SimJob(workload=GemmWorkload(name="job_gemm", m=32, n=32, k=64))
+        assert a.job_hash() != b.job_hash()
+
+    def test_hash_changes_with_features(self):
+        a = SimJob(workload=GEMM)
+        b = SimJob(workload=GEMM, features=FeatureSet.all_disabled())
+        assert a.job_hash() != b.job_hash()
+
+    def test_hash_changes_with_design(self):
+        a = SimJob(workload=GEMM)
+        b = SimJob(workload=GEMM, design=datamaestro_evaluation_system(num_banks=32))
+        assert a.job_hash() != b.job_hash()
+
+    def test_hash_changes_with_backend_and_seed(self):
+        base = SimJob(workload=GEMM)
+        assert base.job_hash() != SimJob(workload=GEMM, seed=7).job_hash()
+        assert (
+            base.job_hash()
+            != SimJob(workload=GEMM, backend="baseline:feather").job_hash()
+        )
+
+    def test_hash_stable_within_process(self):
+        job = SimJob(
+            workload=ConvWorkload(
+                name="job_conv",
+                in_height=8,
+                in_width=8,
+                in_channels=8,
+                out_channels=8,
+                padding=1,
+            )
+        )
+        assert job.job_hash() == job.job_hash()
+
+    def test_hash_stable_across_processes(self):
+        """The digest must not depend on interpreter hash randomisation."""
+        job = SimJob(workload=GEMM, seed=3)
+        script = (
+            "from repro.runtime import SimJob\n"
+            "from repro.workloads import GemmWorkload\n"
+            "job = SimJob(workload=GemmWorkload(name='job_gemm', m=32, n=32, k=32), seed=3)\n"
+            "print(job.job_hash())\n"
+        )
+        digests = set()
+        for salt in ("0", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=salt)
+            output = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                check=True,
+                env=env,
+            ).stdout.strip()
+            digests.add(output)
+        digests.add(job.job_hash())
+        assert len(digests) == 1
+
+
+class TestCanonicalEncoding:
+    def test_dicts_sorted(self):
+        assert stable_digest({"b": 1, "a": 2}) == stable_digest({"a": 2, "b": 1})
+
+    def test_dataclass_and_enum_encoding(self):
+        encoded = canonical_encode(GEMM)
+        assert encoded[0] == "GemmWorkload"
+        assert ["m", 32] in encoded[1]
+
+    def test_unencodable_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_encode(object())

@@ -1,0 +1,85 @@
+"""Tests for the Simulator facade, sweeps and warm-cache experiment reruns."""
+
+import pytest
+
+from repro.core import ablation_feature_sets
+from repro.experiments import fig7_ablation
+from repro.runtime import SimJob, Simulator, simulate
+from repro.workloads import GemmWorkload
+
+GEMM = GemmWorkload(name="sim_gemm", m=16, n=16, k=32)
+
+
+class TestSimulate:
+    def test_single_job_outcome_shape(self):
+        outcome = Simulator().simulate(SimJob(workload=GEMM))
+        assert outcome.workload_name == "sim_gemm"
+        assert 0.0 < outcome.utilization <= 1.0
+        assert outcome.functional_match is True
+        assert outcome.provenance["package_version"]
+        assert outcome.provenance["backend"] == "datamaestro"
+
+    def test_module_level_simulate(self):
+        outcome = simulate(SimJob(workload=GEMM))
+        assert outcome.kernel_cycles > 0
+
+    def test_cache_round_trip_counts(self, tmp_path):
+        simulator = Simulator(cache_dir=tmp_path)
+        job = SimJob(workload=GEMM)
+        first = simulator.simulate(job)
+        second = simulator.simulate(job)
+        assert simulator.stats.executed == 1
+        assert simulator.stats.cache_hits == 1
+        assert not first.cache_hit and second.cache_hit
+        assert first.utilization == second.utilization
+
+
+class TestSweep:
+    def test_feature_ladder_sweep_order(self):
+        ladder = ablation_feature_sets()
+        steps = ["1_baseline", "6_full"]
+        workloads = [
+            GEMM,
+            GemmWorkload(name="sim_gemm_2", m=16, n=16, k=16),
+        ]
+        outcomes = Simulator().sweep(
+            workloads, features=[ladder[step] for step in steps]
+        )
+        # Nesting order: for feature-set / for workload.
+        assert [o.workload_name for o in outcomes] == [
+            "sim_gemm",
+            "sim_gemm_2",
+            "sim_gemm",
+            "sim_gemm_2",
+        ]
+        baseline, full = outcomes[0], outcomes[2]
+        assert full.utilization > baseline.utilization
+
+    def test_backend_axis(self):
+        outcomes = Simulator().sweep(
+            [GEMM], backends=("datamaestro", "baseline:feather")
+        )
+        assert [o.backend for o in outcomes] == ["datamaestro", "baseline:feather"]
+
+
+class TestWarmCacheExperimentRerun:
+    def test_fig7_rerun_with_warm_cache_simulates_nothing(self, tmp_path):
+        """Acceptance: a repeated fig7 run with a warm cache performs zero new
+        cycle-level simulations and produces an identical report."""
+        cold = Simulator(cache_dir=tmp_path)
+        first = fig7_ablation.run(workloads_per_group=1, full=False, simulator=cold)
+        assert cold.stats.executed == first["num_simulations"] == 18
+
+        warm = Simulator(cache_dir=tmp_path)
+        second = fig7_ablation.run(workloads_per_group=1, full=False, simulator=warm)
+        assert warm.stats.executed == 0
+        assert warm.stats.cache_hits == 18
+        assert fig7_ablation.report(first) == fig7_ablation.report(second)
+
+    def test_shared_cache_across_facade_and_batch(self, tmp_path):
+        jobs = [SimJob(workload=GEMM)]
+        Simulator(cache_dir=tmp_path).simulate_many(jobs)
+        warm = Simulator(cache_dir=tmp_path)
+        outcome = warm.simulate(jobs[0])
+        assert outcome.cache_hit
+        assert warm.stats.executed == 0

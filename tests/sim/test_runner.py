@@ -50,3 +50,49 @@ class TestCycleRunner:
         )
         runner.run(CountdownTarget(35))
         assert seen == [10, 20, 30]
+
+    def test_budget_error_includes_explicit_name(self):
+        with pytest.raises(SimulationLimitError) as excinfo:
+            CycleRunner(max_cycles=5).run(NeverFinishes(), name="stuck_kernel")
+        assert "stuck_kernel" in str(excinfo.value)
+        assert excinfo.value.cycles == 5
+
+    def test_budget_error_picks_up_target_name_attribute(self):
+        target = NeverFinishes()
+        target.name = "named_target"
+        with pytest.raises(SimulationLimitError) as excinfo:
+            CycleRunner(max_cycles=5).run(target)
+        assert "named_target" in str(excinfo.value)
+
+
+class TestRunMany:
+    def test_returns_cycles_per_target_in_order(self):
+        targets = [CountdownTarget(3), CountdownTarget(7), CountdownTarget(1)]
+        cycles = CycleRunner(max_cycles=100).run_many(targets)
+        assert cycles == [3, 7, 1]
+        assert all(t.remaining == 0 for t in targets)
+
+    def test_each_target_gets_full_budget(self):
+        targets = [CountdownTarget(9), CountdownTarget(9)]
+        assert CycleRunner(max_cycles=10).run_many(targets) == [9, 9]
+
+    def test_budget_exhaustion_names_the_offender(self):
+        targets = [CountdownTarget(2), NeverFinishes()]
+        with pytest.raises(SimulationLimitError) as excinfo:
+            CycleRunner(max_cycles=10).run_many(targets, names=["ok", "deadlocked"])
+        assert "deadlocked" in str(excinfo.value)
+
+    def test_names_must_parallel_targets(self):
+        with pytest.raises(ValueError):
+            CycleRunner(max_cycles=10).run_many([CountdownTarget(1)], names=["a", "b"])
+
+    def test_progress_callback_cadence_is_per_target(self):
+        seen = []
+        runner = CycleRunner(
+            max_cycles=100,
+            progress_callback=seen.append,
+            progress_interval=10,
+        )
+        runner.run_many([CountdownTarget(25), CountdownTarget(15)])
+        # Cadence restarts for each target: 10, 20 then 10 again.
+        assert seen == [10, 20, 10]

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, main, parse_workload_spec
+from repro.workloads import ConvWorkload, GemmWorkload
 
 
 class TestParser:
@@ -63,3 +64,77 @@ class TestCommands:
     def test_simulate_quantized_conv(self, capsys):
         assert main(["simulate-conv", "8", "8", "8", "8", "--quantize"]) == 0
         assert "utilization" in capsys.readouterr().out
+
+
+class TestWorkloadSpecs:
+    def test_gemm_spec(self):
+        workload = parse_workload_spec("gemm:64x32x16:t:q")
+        assert isinstance(workload, GemmWorkload)
+        assert (workload.m, workload.n, workload.k) == (64, 32, 16)
+        assert workload.transposed_a and workload.quantize
+
+    def test_conv_spec_with_flags(self):
+        workload = parse_workload_spec("conv:16x16x8x32:k5:s2:p2:q")
+        assert isinstance(workload, ConvWorkload)
+        assert workload.kernel_h == 5 and workload.stride == 2
+        assert workload.padding == 2 and workload.quantize
+
+    def test_invalid_specs_rejected(self):
+        for bad in ("gemm:64x64", "conv:8x8x8", "fft:64", "gemm:8x8x8:z", "gemm"):
+            with pytest.raises(ValueError):
+                parse_workload_spec(bad)
+
+
+class TestBatchAndSweep:
+    def test_batch_cold_then_warm(self, tmp_path, capsys):
+        argv = [
+            "batch",
+            "gemm:16x16x16",
+            "conv:8x8x8x8:k3:p1",
+            "--cache-dir",
+            str(tmp_path),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "miss" in cold and "2 simulated" in cold
+
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "hit" in warm and "0 simulated" in warm and "2 cache hits" in warm
+
+    def test_batch_unknown_backend(self, capsys):
+        assert main(["batch", "gemm:8x8x8", "--backend", "bogus", "--no-cache"]) == 2
+
+    def test_batch_baseline_backend(self, capsys):
+        assert (
+            main(["batch", "gemm:16x16x16", "--backend", "baseline:feather", "--no-cache"])
+            == 0
+        )
+        assert "baseline:feather" in capsys.readouterr().out
+
+    def test_sweep_two_steps(self, capsys):
+        argv = [
+            "sweep",
+            "gemm:16x16x32",
+            "--steps",
+            "1_baseline,6_full",
+            "--no-cache",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "1_baseline" in out and "6_full" in out
+
+    def test_sweep_unknown_step(self, capsys):
+        assert main(["sweep", "gemm:8x8x8", "--steps", "7_magic", "--no-cache"]) == 2
+
+    def test_sweep_unknown_backend(self, capsys):
+        assert main(["sweep", "gemm:8x8x8", "--backend", "bogus", "--no-cache"]) == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+
+class TestSelftest:
+    def test_selftest_passes(self, tmp_path, capsys):
+        assert main(["selftest", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "selftest ok" in out
+        assert "[ok] second run served from cache" in out
