@@ -11,6 +11,11 @@ declares a 16x16x16 GeMM as a :class:`SimJob`, lets the :class:`Simulator`
 compile/run/verify it, and prints the utilization and memory-access
 statistics from the uniform :class:`SimOutcome`.
 
+Part 3 goes one step further: it hands the same runtime to the
+``repro.explore`` design-space exploration engine (docs/EXPLORE.md) and
+searches two design-time parameters jointly, printing the Pareto frontier
+over cycles and modelled energy.
+
 Run with:  python examples/quickstart.py
 """
 
@@ -104,6 +109,47 @@ def part2_full_system():
         )
 
 
+def part3_design_space_exploration():
+    print("=" * 70)
+    print("Part 3: joint design-space exploration (see docs/EXPLORE.md)")
+    print("=" * 70)
+
+    from repro.explore import (
+        ExplorationEngine,
+        GridStrategy,
+        ParameterAxis,
+        SearchSpace,
+        parse_objectives,
+    )
+
+    # Two design-time axes of the paper's Table II, searched jointly; pass
+    # Simulator(cache_dir=...) to make repeated explorations incremental.
+    space = SearchSpace(
+        axes=(
+            ParameterAxis.make("data_fifo_depth", (2, 8)),
+            ParameterAxis.make("gima_group_size", (16, 64)),
+        ),
+        name="quickstart",
+    )
+    engine = ExplorationEngine(
+        space=space,
+        strategy=GridStrategy(),
+        objectives=parse_objectives("cycles,energy_pj"),
+        workloads=[GemmWorkload(name="quickstart_explore", m=16, n=16, k=16)],
+    )
+    report = engine.run(budget=space.size())
+    print(f"  evaluated {len(report.evaluations)} designs "
+          f"({report.simulated} simulated)")
+    print("  Pareto frontier (cycles vs modelled energy):")
+    for evaluation in report.frontier:
+        print(
+            f"    {evaluation.candidate.key()}: "
+            f"{int(evaluation.metrics['cycles'])} cycles, "
+            f"{evaluation.metrics['energy_pj']:.0f} pJ"
+        )
+
+
 if __name__ == "__main__":
     part1_standalone_streamer()
     part2_full_system()
+    part3_design_space_exploration()

@@ -21,6 +21,9 @@ the sub-packages hold the full API:
   execution and the on-disk result cache;
 * :mod:`repro.baselines` — SotA comparator models;
 * :mod:`repro.analysis` — metrics, ablation driver, area/power models;
+* :mod:`repro.explore` — multi-objective design-space exploration: search
+  spaces over the design-time parameters, pluggable grid/random/evolutionary
+  strategies, Pareto frontiers and resumable runs (``docs/EXPLORE.md``);
 * :mod:`repro.experiments` — one module per paper table/figure.
 
 The runtime is the front door for running simulations::

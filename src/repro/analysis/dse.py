@@ -3,9 +3,13 @@
 DataMaestro's defining property is that its data-movement behaviour is set by
 *design-time parameters* (Table II) — FIFO depths, channel counts, bank
 counts, bank-group options — rather than being hard-wired to one accelerator.
-This module provides small sweep drivers that quantify those design choices
-on the cycle-level model, in the spirit of the paper's discussion of
-design-time configurability:
+
+The three one-dimensional sweep drivers in this module are thin wrappers
+over the joint exploration engine in :mod:`repro.explore`: each builds a
+single-axis :class:`~repro.explore.space.SearchSpace` and walks it with the
+exhaustive grid strategy, so sweeps share the runtime's caching/batching and
+compose with the multi-objective engine (``repro explore`` on the CLI runs
+the same axes jointly):
 
 * :func:`sweep_data_fifo_depth` — how deep the per-channel data FIFOs must be
   before memory latency and bank-conflict jitter are fully hidden (the paper
@@ -21,14 +25,27 @@ and bank conflicts, ready for tabulation by the reporting helpers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..core.params import FeatureSet, MemoryDesign, StreamerDesign
-from ..runtime.job import SimJob
+from ..core.params import FeatureSet
+from ..explore.engine import ExplorationEngine, default_exploration_workloads
+from ..explore.objectives import ObjectiveSpec
+from ..explore.space import (
+    Candidate,
+    SearchSpace,
+    bank_count_space,
+    datamaestro_builder,
+    fifo_depth_space,
+    gima_group_space,
+)
+from ..explore.strategies import GridStrategy
 from ..runtime.simulator import Simulator
-from ..system.design import AcceleratorSystemDesign, datamaestro_evaluation_system
+from ..system.design import AcceleratorSystemDesign
 from ..workloads.spec import GemmWorkload, Workload
+
+#: Sweeps optimise the headline paper metric; ties resolved by best_point().
+SWEEP_OBJECTIVES = (ObjectiveSpec("utilization", "max"),)
 
 
 @dataclass(frozen=True)
@@ -54,50 +71,58 @@ class DesignPoint:
 
 
 def default_sweep_workload() -> GemmWorkload:
-    """A mid-sized GeMM used as the default sweep kernel."""
-    return GemmWorkload(name="dse_gemm", m=64, n=64, k=96)
+    """A mid-sized GeMM used as the default sweep kernel.
+
+    Shared with the exploration engine's default workload suite so that the
+    sweeps and ``repro explore`` benchmark the same kernel (and hit the same
+    cache entries).
+    """
+    return default_exploration_workloads()[0]
 
 
-def _evaluate(
-    simulator: Simulator,
-    design: AcceleratorSystemDesign,
-    workload: Workload,
+def run_axis_sweep(
+    space: SearchSpace,
     parameter: str,
-    value: int,
-    features: FeatureSet,
-    seed: int,
-) -> DesignPoint:
-    outcome = simulator.simulate(
-        SimJob(
-            workload=workload,
-            design=design,
-            features=features,
-            seed=seed,
-            label=f"{parameter}={value}",
+    workload: Optional[Workload] = None,
+    seed: int = 0,
+    simulator: Optional[Simulator] = None,
+) -> List[DesignPoint]:
+    """Walk a single-axis space exhaustively and flatten to design points.
+
+    Unlike the joint exploration engine — which *filters* invalid candidates
+    out of the space — a sweep over explicitly listed values treats an
+    illegal value as a caller error and raises.
+    """
+    workload = workload or default_sweep_workload()
+    for value in space.axis(parameter).values:
+        candidate = Candidate.from_dict({parameter: value})
+        for constraint in space.constraints:
+            if not constraint.holds(candidate.as_dict()):
+                raise ValueError(
+                    f"{parameter}={value} violates constraint {constraint.name!r}"
+                )
+        # Surface the design model's own ValueError for illegal values.
+        space.build(candidate)
+    engine = ExplorationEngine(
+        space=space,
+        strategy=GridStrategy(),
+        objectives=SWEEP_OBJECTIVES,
+        workloads=[workload],
+        simulator=simulator,
+        sim_seed=seed,
+    )
+    report = engine.run(budget=len(space.axis(parameter).values))
+    return [
+        DesignPoint(
+            parameter=parameter,
+            value=int(evaluation.candidate[parameter]),
+            utilization=evaluation.metrics["utilization"],
+            kernel_cycles=int(evaluation.metrics["cycles"]),
+            bank_conflicts=int(evaluation.metrics["bank_conflicts"]),
+            memory_accesses=int(evaluation.metrics["memory_accesses"]),
         )
-    )
-    return DesignPoint(
-        parameter=parameter,
-        value=value,
-        utilization=outcome.utilization,
-        kernel_cycles=outcome.kernel_cycles,
-        bank_conflicts=outcome.bank_conflicts,
-        memory_accesses=outcome.memory_accesses,
-    )
-
-
-def _with_streamer_overrides(
-    design: AcceleratorSystemDesign,
-    port_names: Sequence[str],
-    **overrides: object,
-) -> AcceleratorSystemDesign:
-    streamers: List[StreamerDesign] = []
-    for streamer in design.streamers:
-        if streamer.name in port_names:
-            streamers.append(replace(streamer, **overrides))
-        else:
-            streamers.append(streamer)
-    return replace(design, streamers=tuple(streamers))
+        for evaluation in report.evaluations
+    ]
 
 
 def sweep_data_fifo_depth(
@@ -109,24 +134,13 @@ def sweep_data_fifo_depth(
     simulator: Optional[Simulator] = None,
 ) -> List[DesignPoint]:
     """Sweep the data-FIFO depth of the per-cycle operand streams (A and B)."""
-    workload = workload or default_sweep_workload()
-    features = features or FeatureSet.all_enabled()
-    base_design = base_design or datamaestro_evaluation_system()
-    simulator = simulator or Simulator()
-    points = []
-    for depth in depths:
-        design = _with_streamer_overrides(
-            base_design,
-            ("A", "B"),
-            data_buffer_depth=int(depth),
-            address_buffer_depth=max(int(depth), 2),
-        )
-        points.append(
-            _evaluate(
-                simulator, design, workload, "data_fifo_depth", int(depth), features, seed
-            )
-        )
-    return points
+    space = fifo_depth_space(depths)
+    space.builder = datamaestro_builder(
+        base_design=base_design, base_features=features, fifo_ports=("A", "B")
+    )
+    return run_axis_sweep(
+        space, "data_fifo_depth", workload=workload, seed=seed, simulator=simulator
+    )
 
 
 def sweep_bank_count(
@@ -137,18 +151,11 @@ def sweep_bank_count(
     simulator: Optional[Simulator] = None,
 ) -> List[DesignPoint]:
     """Sweep the number of scratchpad banks (at constant total capacity)."""
-    workload = workload or default_sweep_workload()
-    features = features or FeatureSet.all_enabled()
-    simulator = simulator or Simulator()
-    points = []
-    for banks in bank_counts:
-        design = datamaestro_evaluation_system(
-            num_banks=int(banks), gima_group_size=max(int(banks) // 4, 1)
-        )
-        points.append(
-            _evaluate(simulator, design, workload, "num_banks", int(banks), features, seed)
-        )
-    return points
+    space = bank_count_space(bank_counts)
+    space.builder = datamaestro_builder(base_features=features)
+    return run_axis_sweep(
+        space, "num_banks", workload=workload, seed=seed, simulator=simulator
+    )
 
 
 def sweep_gima_group_size(
@@ -158,22 +165,25 @@ def sweep_gima_group_size(
     simulator: Optional[Simulator] = None,
 ) -> List[DesignPoint]:
     """Sweep the bank-group size used when addressing-mode switching is on."""
-    workload = workload or default_sweep_workload()
-    features = FeatureSet.all_enabled()
-    simulator = simulator or Simulator()
-    points = []
-    for group in group_sizes:
-        design = datamaestro_evaluation_system(gima_group_size=int(group))
-        points.append(
-            _evaluate(
-                simulator, design, workload, "gima_group_size", int(group), features, seed
-            )
-        )
-    return points
+    return run_axis_sweep(
+        gima_group_space(group_sizes),
+        "gima_group_size",
+        workload=workload,
+        seed=seed,
+        simulator=simulator,
+    )
 
 
 def best_point(points: Sequence[DesignPoint]) -> DesignPoint:
-    """The design point with the highest utilization (ties: fewest cycles)."""
+    """The design point with the highest utilization.
+
+    Tie-breaking is deterministic and independent of input order: equal
+    utilization resolves to the fewest kernel cycles, then the fewest bank
+    conflicts, then the smallest parameter value (the cheaper design).
+    """
     if not points:
         raise ValueError("no design points to choose from")
-    return max(points, key=lambda p: (p.utilization, -p.kernel_cycles))
+    return max(
+        points,
+        key=lambda p: (p.utilization, -p.kernel_cycles, -p.bank_conflicts, -p.value),
+    )

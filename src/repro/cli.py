@@ -15,6 +15,9 @@ Provides quick access to the main entry points without writing Python:
   results land in the on-disk cache);
 * ``python -m repro.cli sweep gemm:32x32x64 --steps 1_baseline,6_full`` —
   sweep the ablation feature ladder over one or more workloads;
+* ``python -m repro.cli explore --space default --strategy grid --budget 18``
+  — multi-objective design-space exploration with Pareto-frontier reporting,
+  JSON/CSV export and journal-based resume (see ``docs/EXPLORE.md``);
 * ``python -m repro.cli selftest`` — tiny cached GeMM end-to-end smoke test;
 * ``python -m repro.cli suite-info`` — describe the synthetic ablation suite.
 
@@ -34,6 +37,15 @@ from typing import List, Optional
 from .analysis.reporting import format_comparison, format_table
 from .core.params import FeatureSet, ablation_feature_sets
 from .experiments import EXPERIMENTS
+from .explore import (
+    JournalError,
+    ParameterAxis,
+    available_strategies,
+    make_strategy,
+    named_search_spaces,
+    parse_objectives,
+    search_space_by_name,
+)
 from .runtime import (
     DATAMAESTRO_BACKEND,
     SimJob,
@@ -217,7 +229,7 @@ def cmd_list_experiments(_args: argparse.Namespace) -> int:
         "fig8": "FPGA prototype resource utilization",
         "fig9": "Area and power breakdowns, energy efficiency",
         "fig10": "Throughput and overhead comparison with SotA",
-        "table3": "Real-world DNN utilization (ResNet/VGG/ViT/BERT)",
+        "table3": "Real-world DNN utilization (ResNet/VGG/ViT/BERT + MobileNetV2)",
     }
     for name in EXPERIMENTS:
         rows.append([name, descriptions.get(name, ""), f"python -m repro.experiments.{EXPERIMENTS[name].__name__.split('.')[-1]}"])
@@ -351,6 +363,126 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_axis_override(text: str) -> ParameterAxis:
+    """Parse a CLI axis spec ``name=v1,v2,...`` (ints where possible)."""
+    if "=" not in text:
+        raise ValueError(f"axis spec {text!r} must look like name=v1,v2,...")
+    name, _, values_text = text.partition("=")
+    values = []
+    for token in values_text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if token.lower() in ("true", "false"):
+            values.append(token.lower() == "true")
+        else:
+            values.append(int(token))
+    if not values:
+        raise ValueError(f"axis spec {text!r} has no values")
+    return ParameterAxis.make(name.strip(), values)
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    from .explore.engine import ExplorationEngine
+
+    try:
+        space = search_space_by_name(args.space)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    try:
+        if args.axis:
+            overrides = [_parse_axis_override(spec) for spec in args.axis]
+            axes = {axis.name: axis for axis in space.axes}
+            axes.update({axis.name: axis for axis in overrides})
+            space.axes = tuple(axes.values())
+        objectives = parse_objectives(args.objectives)
+        workloads = (
+            [parse_workload_spec(spec) for spec in args.workload]
+            if args.workload
+            else None
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.strategy not in available_strategies():
+        print(
+            f"error: unknown strategy {args.strategy!r}; "
+            f"available: {available_strategies()}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume and not args.journal:
+        print("error: --resume requires --journal", file=sys.stderr)
+        return 2
+    if args.budget <= 0:
+        print("error: --budget must be positive", file=sys.stderr)
+        return 2
+
+    simulator = _simulator_from_args(args)
+    engine = ExplorationEngine(
+        space=space,
+        strategy=make_strategy(
+            args.strategy, objectives=objectives, population=args.population
+        ),
+        objectives=objectives,
+        workloads=workloads,
+        simulator=simulator,
+        seed=args.seed,
+        sim_seed=args.sim_seed,
+    )
+    try:
+        report_data = engine.run(
+            budget=args.budget, journal=args.journal, resume=args.resume
+        )
+    except JournalError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except KeyError as error:
+        # An --axis override the design builder does not understand.
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    if not report_data.evaluations:
+        print(
+            "error: no valid candidates in the search space (every axis "
+            "combination was filtered by a constraint or failed design "
+            "validation)",
+            file=sys.stderr,
+        )
+        return 2
+
+    objective_names = report_data.objective_names()
+    print(
+        format_table(
+            ["candidate"] + objective_names,
+            report_data.frontier_rows(),
+            title=(
+                f"Pareto frontier ({len(report_data.frontier)} of "
+                f"{len(report_data.evaluations)} evaluated designs)"
+            ),
+            float_format="{:.4g}",
+        )
+    )
+    best = report_data.best()
+    print(
+        f"best on {objective_names[0]}: {best.candidate.key()} "
+        f"({objective_names[0]}={best.metrics[objective_names[0]]:.6g})"
+    )
+    print(
+        f"exploration: {report_data.simulated} simulated, "
+        f"{report_data.cache_hits} cache hits, "
+        f"{report_data.replayed_from_journal} replayed from journal"
+    )
+    if args.json:
+        report_data.to_json(args.json)
+        print(f"wrote JSON report to {args.json}")
+    if args.csv:
+        report_data.to_csv(args.csv)
+        print(f"wrote CSV report to {args.csv}")
+    _print_runtime_stats(simulator)
+    return 0
+
+
 def cmd_selftest(args: argparse.Namespace) -> int:
     """Run one tiny GeMM job end-to-end, twice, through a result cache."""
     cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="repro-selftest-")
@@ -480,6 +612,73 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=0)
     _add_runtime_flags(sweep, cache_default=True)
     sweep.set_defaults(func=cmd_sweep)
+
+    explore = subparsers.add_parser(
+        "explore",
+        help="multi-objective design-space exploration (see docs/EXPLORE.md)",
+    )
+    explore.add_argument(
+        "--space",
+        default="default",
+        help=f"named search space (available: {sorted(named_search_spaces())})",
+    )
+    explore.add_argument(
+        "--axis",
+        action="append",
+        default=None,
+        metavar="NAME=V1,V2,...",
+        help="override or add an axis, e.g. --axis data_fifo_depth=2,4,8",
+    )
+    explore.add_argument(
+        "--strategy",
+        default="grid",
+        help=f"search strategy (available: {available_strategies()})",
+    )
+    explore.add_argument(
+        "--budget",
+        type=int,
+        default=16,
+        metavar="N",
+        help="maximum number of candidate evaluations (default: 16)",
+    )
+    explore.add_argument(
+        "--objectives",
+        default="cycles,energy_pj,area",
+        help="comma-separated objectives, e.g. cycles,energy_pj,area "
+        "(prefix min:/max: to override the intrinsic direction)",
+    )
+    explore.add_argument(
+        "--workload",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="workload spec (repeatable; default: the 64x64x96 DSE GeMM)",
+    )
+    explore.add_argument("--seed", type=int, default=0, help="strategy seed")
+    explore.add_argument(
+        "--sim-seed", type=int, default=0, help="operand-data seed for simulations"
+    )
+    explore.add_argument(
+        "--population",
+        type=int,
+        default=8,
+        help="batch/population size for random and evolutionary strategies",
+    )
+    explore.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="JSONL run journal enabling checkpoint/resume",
+    )
+    explore.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay an existing journal instead of starting fresh",
+    )
+    explore.add_argument("--json", default=None, metavar="PATH", help="write JSON report")
+    explore.add_argument("--csv", default=None, metavar="PATH", help="write CSV report")
+    _add_runtime_flags(explore, cache_default=True)
+    explore.set_defaults(func=cmd_explore)
 
     selftest = subparsers.add_parser(
         "selftest", help="tiny cached GeMM end-to-end smoke test"

@@ -3,7 +3,10 @@
 Estimates the utilization of ResNet-18, VGG-16, ViT-B/16 and BERT-Base on the
 DataMaestro-boosted system by cycle-simulating a representative crop of every
 unique layer and aggregating with compute weights (see
-:mod:`repro.analysis.network_perf` and DESIGN.md §4).
+:mod:`repro.analysis.network_perf` and DESIGN.md §4).  The benchmark suite
+additionally includes MobileNetV2 — not a paper column (its paper utilization
+reports ``N/A``) but the depthwise-heavy, bandwidth-bound scenario the
+design-space exploration engine (``repro.explore``) covers.
 """
 
 from __future__ import annotations

@@ -1,0 +1,166 @@
+"""JSONL run journal: checkpointing and resume for exploration runs.
+
+The journal is an append-only JSON-lines file.  The first line is a header
+describing the run configuration (space digest, strategy, seed, objectives,
+workload digests, package version); every further line records one completed
+candidate evaluation (assignment, metrics, job hashes).  Because lines are
+flushed as they are appended, a killed run leaves a valid journal: at worst
+the final line is truncated, and :meth:`RunJournal.load` simply ignores an
+unparseable trailing line.
+
+Resume contract: the engine replays journaled evaluations instead of
+re-simulating them, but only when the header matches the current run
+configuration exactly — a changed space, strategy, seed or objective list
+raises :class:`JournalMismatchError` rather than silently mixing runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .objectives import Evaluation
+from .space import Candidate
+
+#: Journal format version; bump on incompatible record changes.
+JOURNAL_FORMAT = 1
+
+
+class JournalError(ValueError):
+    """The journal file cannot be used at all (bad header, wrong format)."""
+
+
+class JournalMismatchError(JournalError):
+    """The journal belongs to a different run configuration."""
+
+
+@dataclass
+class JournalContents:
+    """Parsed journal: the header plus every readable evaluation record."""
+
+    header: Dict[str, object]
+    evaluations: List[Evaluation] = field(default_factory=list)
+    dropped_lines: int = 0
+
+
+class RunJournal:
+    """Append-only JSONL checkpoint of one exploration run."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.is_file() and self.path.stat().st_size > 0
+
+    # ------------------------------------------------------------------
+    # Writing.
+    # ------------------------------------------------------------------
+    def start(self, header: Dict[str, object]) -> None:
+        """Begin a fresh journal (truncates any previous file)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        record = {"type": "header", "format": JOURNAL_FORMAT, **header}
+        with self.path.open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def append(self, evaluation: Evaluation) -> None:
+        """Append one evaluation record and flush it to disk."""
+        record = {
+            "type": "evaluation",
+            "candidate": evaluation.candidate.as_dict(),
+            "metrics": evaluation.metrics,
+            "job_hashes": evaluation.job_hashes,
+        }
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+
+    # ------------------------------------------------------------------
+    # Reading.
+    # ------------------------------------------------------------------
+    def load(self) -> JournalContents:
+        """Parse the journal, tolerating a truncated/garbled trailing line."""
+        if not self.exists():
+            raise JournalError(f"journal {self.path} does not exist or is empty")
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as error:
+            raise JournalError(f"journal {self.path}: unreadable header") from error
+        if not isinstance(header, dict) or header.get("type") != "header":
+            raise JournalError(f"journal {self.path}: first line is not a header")
+        if header.get("format") != JOURNAL_FORMAT:
+            raise JournalError(
+                f"journal {self.path}: format {header.get('format')!r} "
+                f"!= {JOURNAL_FORMAT}"
+            )
+
+        contents = JournalContents(header=header)
+        for position, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                if record.get("type") != "evaluation":
+                    raise ValueError("not an evaluation record")
+                evaluation = Evaluation(
+                    candidate=Candidate.from_dict(record["candidate"]),
+                    metrics={str(k): float(v) for k, v in record["metrics"].items()},
+                    job_hashes=[str(h) for h in record.get("job_hashes", [])],
+                    from_journal=True,
+                )
+            except (ValueError, KeyError, TypeError, AttributeError):
+                if position == len(lines):
+                    # Interrupted mid-append: drop the partial final record.
+                    contents.dropped_lines += 1
+                    continue
+                raise JournalError(
+                    f"journal {self.path}: unreadable record on line {position}"
+                )
+            contents.evaluations.append(evaluation)
+        return contents
+
+    def resume(self, header: Dict[str, object]) -> JournalContents:
+        """Load for resumption, verifying the header matches ``header``.
+
+        If the previous run died mid-append, the partial trailing line is
+        dropped *and* the file is rewritten without it, so that records
+        appended by the resumed run start on a clean line.
+        """
+        contents = self.load()
+        if contents.dropped_lines:
+            self.start(
+                {
+                    key: value
+                    for key, value in contents.header.items()
+                    if key not in ("type", "format")
+                }
+            )
+            for evaluation in contents.evaluations:
+                self.append(evaluation)
+            contents.dropped_lines = 0
+        mismatched = {
+            key: (contents.header.get(key), value)
+            for key, value in header.items()
+            if contents.header.get(key) != value
+        }
+        if mismatched:
+            details = ", ".join(
+                f"{key}: journal={old!r} vs run={new!r}"
+                for key, (old, new) in sorted(mismatched.items())
+            )
+            raise JournalMismatchError(
+                f"journal {self.path} belongs to a different run ({details})"
+            )
+        return contents
+
+    def evaluation_map(
+        self, contents: Optional[JournalContents] = None
+    ) -> Dict[str, Evaluation]:
+        """Journaled evaluations keyed by candidate key (first wins)."""
+        contents = contents or self.load()
+        replayed: Dict[str, Evaluation] = {}
+        for evaluation in contents.evaluations:
+            replayed.setdefault(evaluation.candidate.key(), evaluation)
+        return replayed

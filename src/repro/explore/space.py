@@ -1,0 +1,379 @@
+"""Declarative design-space description for exploration runs.
+
+A :class:`SearchSpace` names a set of *axes* (design-time parameters of the
+evaluation system — FIFO depths, bank counts, bank-group sizes — or
+:class:`~repro.core.params.FeatureSet` switches), the discrete values each
+axis may take, and the validity constraints that tie axes together (e.g. the
+GIMA group size must divide the bank count).  A point of the space is a
+:class:`Candidate`: a complete name→value assignment that the space can
+materialise into a concrete
+:class:`~repro.system.design.AcceleratorSystemDesign` + ``FeatureSet`` pair
+ready to be simulated.
+
+The space is purely declarative: enumeration order, seeded sampling and
+neighbourhood moves are all deterministic functions of the axis declaration,
+which is what makes exploration runs reproducible and resumable (the space
+digest is written into the run journal and checked on resume).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.params import FeatureSet, StreamerDesign
+from ..runtime.job import stable_digest
+from ..system.design import AcceleratorSystemDesign, datamaestro_evaluation_system
+
+#: Axis values are plain scalars so they JSON-round-trip through the journal.
+AxisValue = object
+
+
+@dataclass(frozen=True)
+class ParameterAxis:
+    """One named, discrete design-time parameter."""
+
+    name: str
+    values: Tuple[AxisValue, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("axis name must be non-empty")
+        if not self.values:
+            raise ValueError(f"axis {self.name!r} needs at least one value")
+        if len(set(self.values)) != len(self.values):
+            raise ValueError(f"axis {self.name!r} has duplicate values")
+        for value in self.values:
+            if not isinstance(value, (bool, int, float, str)):
+                raise TypeError(
+                    f"axis {self.name!r}: value {value!r} is not a JSON scalar"
+                )
+
+    @staticmethod
+    def make(name: str, values: Sequence[AxisValue]) -> "ParameterAxis":
+        return ParameterAxis(name=name, values=tuple(values))
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One complete assignment of every axis of a search space."""
+
+    assignment: Tuple[Tuple[str, AxisValue], ...]
+
+    @staticmethod
+    def from_dict(values: Dict[str, AxisValue]) -> "Candidate":
+        return Candidate(assignment=tuple(sorted(values.items())))
+
+    def as_dict(self) -> Dict[str, AxisValue]:
+        return dict(self.assignment)
+
+    def key(self) -> str:
+        """Stable identity string (journal key, dedup key, sort key)."""
+        return ",".join(f"{name}={value!r}" for name, value in self.assignment)
+
+    def __getitem__(self, name: str) -> AxisValue:
+        for axis_name, value in self.assignment:
+            if axis_name == name:
+                return value
+        raise KeyError(name)
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A named validity predicate over a full assignment.
+
+    The *name* participates in the space digest (predicates themselves cannot
+    be hashed portably), so renaming or swapping constraints invalidates the
+    resume journal — which is the safe behaviour.
+    """
+
+    name: str
+    predicate: Callable[[Dict[str, AxisValue]], bool] = field(compare=False)
+
+    def holds(self, values: Dict[str, AxisValue]) -> bool:
+        return bool(self.predicate(values))
+
+
+def group_divides_banks(values: Dict[str, AxisValue]) -> bool:
+    """Built-in constraint: ``gima_group_size`` must divide ``num_banks``."""
+    group = values.get("gima_group_size")
+    banks = values.get("num_banks")
+    if group is None or banks is None:
+        return True
+    return int(banks) % int(group) == 0
+
+
+GROUP_DIVIDES_BANKS = Constraint("group_divides_banks", group_divides_banks)
+
+
+# ----------------------------------------------------------------------
+# Materialising assignments into designs.
+# ----------------------------------------------------------------------
+#: Axes that map onto FeatureSet switches rather than hardware parameters.
+FEATURE_AXES = tuple(FeatureSet.all_enabled().as_dict())
+
+#: Hardware axes understood by the default DataMaestro builder.
+DESIGN_AXES = (
+    "num_banks",
+    "gima_group_size",
+    "scratchpad_kib",
+    "data_fifo_depth",
+    "address_fifo_depth",
+)
+
+
+def _with_streamer_overrides(
+    design: AcceleratorSystemDesign,
+    port_names: Sequence[str],
+    **overrides: object,
+) -> AcceleratorSystemDesign:
+    streamers: List[StreamerDesign] = []
+    for streamer in design.streamers:
+        if streamer.name in port_names:
+            streamers.append(replace(streamer, **overrides))
+        else:
+            streamers.append(streamer)
+    return replace(design, streamers=tuple(streamers))
+
+
+def datamaestro_builder(
+    base_design: Optional[AcceleratorSystemDesign] = None,
+    base_features: Optional[FeatureSet] = None,
+    fifo_ports: Sequence[str] = ("A", "B"),
+) -> Callable[[Dict[str, AxisValue]], Tuple[AcceleratorSystemDesign, FeatureSet]]:
+    """Builder for spaces over the paper's evaluation system.
+
+    Recognised axes: the memory/system parameters in :data:`DESIGN_AXES`
+    (``data_fifo_depth`` / ``address_fifo_depth`` apply to the per-cycle
+    operand ports in ``fifo_ports``) and every ``FeatureSet`` switch in
+    :data:`FEATURE_AXES`.  When ``num_banks``/``gima_group_size``/
+    ``scratchpad_kib`` appear the system is regenerated from
+    :func:`datamaestro_evaluation_system`; otherwise ``base_design`` is
+    modified in place, so single-axis sweeps can start from a custom design.
+    """
+
+    def build(values: Dict[str, AxisValue]) -> Tuple[AcceleratorSystemDesign, FeatureSet]:
+        unknown = [
+            name
+            for name in values
+            if name not in DESIGN_AXES and name not in FEATURE_AXES
+        ]
+        if unknown:
+            raise KeyError(
+                f"unknown axes {unknown}; known design axes: {list(DESIGN_AXES)}, "
+                f"feature axes: {list(FEATURE_AXES)}"
+            )
+
+        if any(name in values for name in ("num_banks", "gima_group_size", "scratchpad_kib")):
+            num_banks = int(values.get("num_banks", 64))
+            design = datamaestro_evaluation_system(
+                scratchpad_kib=int(values.get("scratchpad_kib", 128)),
+                num_banks=num_banks,
+                gima_group_size=int(values.get("gima_group_size", max(num_banks // 4, 1))),
+            )
+        else:
+            design = base_design or datamaestro_evaluation_system()
+
+        overrides: Dict[str, object] = {}
+        if "data_fifo_depth" in values:
+            depth = int(values["data_fifo_depth"])
+            overrides["data_buffer_depth"] = depth
+            overrides["address_buffer_depth"] = int(
+                values.get("address_fifo_depth", max(depth, 2))
+            )
+        elif "address_fifo_depth" in values:
+            overrides["address_buffer_depth"] = int(values["address_fifo_depth"])
+        if overrides:
+            design = _with_streamer_overrides(design, fifo_ports, **overrides)
+
+        features = base_features or FeatureSet.all_enabled()
+        flags = {name: bool(values[name]) for name in FEATURE_AXES if name in values}
+        if flags:
+            features = features.with_updates(**flags)
+        return design, features
+
+    build.builder_name = "datamaestro"  # type: ignore[attr-defined]
+    return build
+
+
+# ----------------------------------------------------------------------
+# The search space itself.
+# ----------------------------------------------------------------------
+class SearchSpace:
+    """Named axes + constraints + a builder that materialises candidates."""
+
+    def __init__(
+        self,
+        axes: Sequence[ParameterAxis],
+        constraints: Sequence[Constraint] = (),
+        builder: Optional[
+            Callable[[Dict[str, AxisValue]], Tuple[AcceleratorSystemDesign, FeatureSet]]
+        ] = None,
+        name: str = "custom",
+    ) -> None:
+        if not axes:
+            raise ValueError("a search space needs at least one axis")
+        names = [axis.name for axis in axes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate axis names in {names}")
+        self.axes = tuple(axes)
+        self.constraints = tuple(constraints)
+        self.builder = builder or datamaestro_builder()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    def axis(self, name: str) -> ParameterAxis:
+        for axis in self.axes:
+            if axis.name == name:
+                return axis
+        raise KeyError(f"no axis named {name!r} in space {self.name!r}")
+
+    def size(self) -> int:
+        """Cartesian size of the space *before* constraint filtering."""
+        size = 1
+        for axis in self.axes:
+            size *= len(axis.values)
+        return size
+
+    def digest(self) -> str:
+        """Stable identity of the space declaration (journal header field)."""
+        payload = {
+            "name": self.name,
+            "axes": [[axis.name, list(axis.values)] for axis in self.axes],
+            "constraints": [constraint.name for constraint in self.constraints],
+            "builder": getattr(self.builder, "builder_name", "custom"),
+        }
+        return stable_digest(payload)
+
+    # ------------------------------------------------------------------
+    def is_valid(self, candidate: Candidate) -> bool:
+        """Constraints hold and the candidate builds into a legal design.
+
+        Only *per-candidate* illegality (a ``ValueError`` from the design
+        model) reads as invalid; a ``KeyError`` for an axis the builder does
+        not understand is a space-declaration error and propagates.
+        """
+        values = candidate.as_dict()
+        if any(not constraint.holds(values) for constraint in self.constraints):
+            return False
+        try:
+            self.build(candidate)
+        except ValueError:
+            return False
+        return True
+
+    def build(self, candidate: Candidate) -> Tuple[AcceleratorSystemDesign, FeatureSet]:
+        """Materialise a candidate into a (design, features) pair."""
+        return self.builder(candidate.as_dict())
+
+    # ------------------------------------------------------------------
+    def enumerate(self) -> Iterator[Candidate]:
+        """All valid candidates, in deterministic axis-declaration order."""
+        value_axes = [axis.values for axis in self.axes]
+        names = [axis.name for axis in self.axes]
+        for combo in itertools.product(*value_axes):
+            candidate = Candidate.from_dict(dict(zip(names, combo)))
+            if self.is_valid(candidate):
+                yield candidate
+
+    def sample(self, rng: random.Random, max_attempts: int = 64) -> Optional[Candidate]:
+        """One valid candidate drawn uniformly per axis (rejection sampling)."""
+        for _ in range(max_attempts):
+            values = {axis.name: rng.choice(axis.values) for axis in self.axes}
+            candidate = Candidate.from_dict(values)
+            if self.is_valid(candidate):
+                return candidate
+        return None
+
+    def mutate(
+        self, candidate: Candidate, rng: random.Random, max_attempts: int = 64
+    ) -> Optional[Candidate]:
+        """A valid neighbour: one axis re-drawn to a different value."""
+        mutable = [axis for axis in self.axes if len(axis.values) > 1]
+        if not mutable:
+            return None
+        for _ in range(max_attempts):
+            axis = rng.choice(mutable)
+            current = candidate[axis.name]
+            alternatives = [value for value in axis.values if value != current]
+            values = candidate.as_dict()
+            values[axis.name] = rng.choice(alternatives)
+            mutated = Candidate.from_dict(values)
+            if self.is_valid(mutated):
+                return mutated
+        return None
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "axes": {axis.name: list(axis.values) for axis in self.axes},
+            "constraints": [constraint.name for constraint in self.constraints],
+            "cartesian_size": self.size(),
+            "digest": self.digest(),
+        }
+
+
+# ----------------------------------------------------------------------
+# Named spaces exposed on the CLI.
+# ----------------------------------------------------------------------
+def default_search_space() -> SearchSpace:
+    """Joint space over the paper's three design-time sweep axes."""
+    return SearchSpace(
+        axes=(
+            ParameterAxis.make("data_fifo_depth", (2, 4, 8)),
+            ParameterAxis.make("num_banks", (32, 64)),
+            ParameterAxis.make("gima_group_size", (8, 16, 32)),
+        ),
+        constraints=(GROUP_DIVIDES_BANKS,),
+        name="default",
+    )
+
+
+def fifo_depth_space(depths: Sequence[int] = (1, 2, 4, 8, 16)) -> SearchSpace:
+    return SearchSpace(
+        axes=(ParameterAxis.make("data_fifo_depth", tuple(int(d) for d in depths)),),
+        name="fifo_depth",
+    )
+
+
+def bank_count_space(bank_counts: Sequence[int] = (32, 64, 128)) -> SearchSpace:
+    return SearchSpace(
+        axes=(ParameterAxis.make("num_banks", tuple(int(b) for b in bank_counts)),),
+        name="bank_count",
+    )
+
+
+def gima_group_space(group_sizes: Sequence[int] = (8, 16, 32, 64)) -> SearchSpace:
+    return SearchSpace(
+        axes=(ParameterAxis.make("gima_group_size", tuple(int(g) for g in group_sizes)),),
+        constraints=(GROUP_DIVIDES_BANKS,),
+        name="gima_group",
+    )
+
+
+def feature_space() -> SearchSpace:
+    """The 2^5 FeatureSet switchboard as a search space."""
+    return SearchSpace(
+        axes=tuple(ParameterAxis.make(name, (False, True)) for name in FEATURE_AXES),
+        name="features",
+    )
+
+
+def named_search_spaces() -> Dict[str, Callable[[], SearchSpace]]:
+    """Registry of the spaces selectable with ``repro explore --space``."""
+    return {
+        "default": default_search_space,
+        "fifo_depth": fifo_depth_space,
+        "bank_count": bank_count_space,
+        "gima_group": gima_group_space,
+        "features": feature_space,
+    }
+
+
+def search_space_by_name(name: str) -> SearchSpace:
+    spaces = named_search_spaces()
+    if name not in spaces:
+        raise KeyError(f"unknown search space {name!r}; available: {sorted(spaces)}")
+    return spaces[name]()

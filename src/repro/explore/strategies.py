@@ -1,0 +1,235 @@
+"""Pluggable search strategies behind a common protocol.
+
+A strategy decides *which* candidates to evaluate next; the engine decides
+*how* (batched through the runtime, journaled, cached).  The contract that
+makes runs reproducible and resumable:
+
+* after :meth:`Strategy.reset`, the proposal sequence is a deterministic
+  function of the space, the seed, and the evaluations the engine reports
+  back — never of wall-clock time or process state;
+* strategies deduplicate only against their **own** proposal history.  The
+  engine may serve a proposed candidate from the journal or the result cache
+  instead of simulating it; the strategy must not react to that, otherwise a
+  resumed run would diverge from an uninterrupted one.
+
+Three strategies are built in: exhaustive ``grid``, seeded ``random``
+sampling, and a seeded ``evolutionary`` refiner (random warm-up population,
+then mutation of the current Pareto parents).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence
+
+from .objectives import Evaluation, ObjectiveSpec, pareto_frontier
+from .space import Candidate, SearchSpace
+
+
+class Strategy:
+    """Base class / protocol for candidate-proposal strategies."""
+
+    name = "strategy"
+
+    def reset(self, space: SearchSpace, seed: int) -> None:
+        """Bind to a space and seed; must fully re-initialise all state."""
+        raise NotImplementedError
+
+    def propose(
+        self,
+        evaluated: Mapping[str, Evaluation],
+        remaining: int,
+    ) -> List[Candidate]:
+        """Next batch of at most ``remaining`` candidates; ``[]`` ends the run.
+
+        ``evaluated`` maps candidate key → evaluation for every candidate
+        this strategy proposed earlier (journal replays included).
+        """
+        raise NotImplementedError
+
+    def describe(self) -> Dict[str, object]:
+        return {"strategy": self.name}
+
+
+class GridStrategy(Strategy):
+    """Exhaustive enumeration in deterministic axis order."""
+
+    name = "grid"
+
+    def __init__(self) -> None:
+        self._iterator: Optional[Iterator[Candidate]] = None
+
+    def reset(self, space: SearchSpace, seed: int) -> None:
+        self._iterator = space.enumerate()
+
+    def propose(
+        self, evaluated: Mapping[str, Evaluation], remaining: int
+    ) -> List[Candidate]:
+        assert self._iterator is not None, "reset() must be called first"
+        batch: List[Candidate] = []
+        for candidate in self._iterator:
+            batch.append(candidate)
+            if len(batch) >= remaining:
+                break
+        return batch
+
+
+class RandomStrategy(Strategy):
+    """Seeded uniform sampling without replacement (within one run)."""
+
+    name = "random"
+
+    def __init__(self, batch_size: int = 8, max_attempts_per_draw: int = 64) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.batch_size = batch_size
+        self.max_attempts_per_draw = max_attempts_per_draw
+        self._rng: Optional[random.Random] = None
+        self._space: Optional[SearchSpace] = None
+        self._proposed: set = set()
+
+    def reset(self, space: SearchSpace, seed: int) -> None:
+        self._rng = random.Random(f"random:{seed}")
+        self._space = space
+        self._proposed = set()
+
+    def propose(
+        self, evaluated: Mapping[str, Evaluation], remaining: int
+    ) -> List[Candidate]:
+        assert self._rng is not None and self._space is not None
+        batch: List[Candidate] = []
+        target = min(self.batch_size, remaining)
+        misses = 0
+        while len(batch) < target and misses < self.max_attempts_per_draw:
+            candidate = self._space.sample(self._rng)
+            if candidate is None:
+                break
+            if candidate.key() in self._proposed:
+                misses += 1
+                continue
+            self._proposed.add(candidate.key())
+            batch.append(candidate)
+        return batch
+
+    def describe(self) -> Dict[str, object]:
+        return {"strategy": self.name, "batch_size": self.batch_size}
+
+
+class EvolutionaryStrategy(Strategy):
+    """Seeded (μ+λ)-style refiner over the Pareto frontier.
+
+    Generation zero is a random warm-up population; every later generation
+    mutates parents drawn from the Pareto frontier of everything evaluated so
+    far (parents sorted by candidate key, so selection is deterministic).
+    Candidates never proposed twice; when the neighbourhood is exhausted the
+    strategy falls back to fresh random samples, and gives up once no new
+    candidate can be produced.
+    """
+
+    name = "evolutionary"
+
+    def __init__(
+        self,
+        population: int = 8,
+        objectives: Sequence[ObjectiveSpec] = (),
+        max_attempts_per_draw: int = 64,
+    ) -> None:
+        if population <= 0:
+            raise ValueError("population must be positive")
+        self.population = population
+        self.objectives = tuple(objectives)
+        self.max_attempts_per_draw = max_attempts_per_draw
+        self._rng: Optional[random.Random] = None
+        self._space: Optional[SearchSpace] = None
+        self._proposed: set = set()
+        self._generation = 0
+
+    def reset(self, space: SearchSpace, seed: int) -> None:
+        self._rng = random.Random(f"evolutionary:{seed}")
+        self._space = space
+        self._proposed = set()
+        self._generation = 0
+
+    # ------------------------------------------------------------------
+    def _fresh(self, batch: List[Candidate]) -> Optional[Candidate]:
+        """One never-proposed random candidate, or None when exhausted."""
+        assert self._rng is not None and self._space is not None
+        in_batch = {candidate.key() for candidate in batch}
+        for _ in range(self.max_attempts_per_draw):
+            candidate = self._space.sample(self._rng)
+            if candidate is None:
+                return None
+            if candidate.key() not in self._proposed and candidate.key() not in in_batch:
+                return candidate
+        return None
+
+    def propose(
+        self, evaluated: Mapping[str, Evaluation], remaining: int
+    ) -> List[Candidate]:
+        assert self._rng is not None and self._space is not None
+        target = min(self.population, remaining)
+        batch: List[Candidate] = []
+
+        if self._generation > 0 and evaluated:
+            ours = [
+                evaluation
+                for key, evaluation in sorted(evaluated.items())
+                if key in self._proposed
+            ]
+            objectives = self.objectives or (ObjectiveSpec("cycles", "min"),)
+            parents = pareto_frontier(ours, objectives) or ours
+            in_batch: set = set()
+            for _ in range(target * self.max_attempts_per_draw):
+                if len(batch) >= target:
+                    break
+                parent = self._rng.choice(parents)
+                child = self._space.mutate(parent.candidate, self._rng)
+                if (
+                    child is not None
+                    and child.key() not in self._proposed
+                    and child.key() not in in_batch
+                ):
+                    in_batch.add(child.key())
+                    batch.append(child)
+
+        while len(batch) < target:
+            candidate = self._fresh(batch)
+            if candidate is None:
+                break
+            batch.append(candidate)
+
+        for candidate in batch:
+            self._proposed.add(candidate.key())
+        self._generation += 1
+        return batch
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "strategy": self.name,
+            "population": self.population,
+            "objectives": [f"{spec.goal}:{spec.name}" for spec in self.objectives],
+        }
+
+
+# ----------------------------------------------------------------------
+# Registry.
+# ----------------------------------------------------------------------
+def available_strategies() -> List[str]:
+    return ["grid", "random", "evolutionary"]
+
+
+def make_strategy(
+    name: str,
+    objectives: Sequence[ObjectiveSpec] = (),
+    population: int = 8,
+) -> Strategy:
+    """Instantiate a registered strategy by name."""
+    if name == "grid":
+        return GridStrategy()
+    if name == "random":
+        return RandomStrategy(batch_size=population)
+    if name == "evolutionary":
+        return EvolutionaryStrategy(population=population, objectives=objectives)
+    raise KeyError(
+        f"unknown strategy {name!r}; available: {available_strategies()}"
+    )

@@ -183,15 +183,79 @@ def bert_base(sequence_length: int = 128) -> NetworkModel:
 
 
 # ----------------------------------------------------------------------
+# MobileNetV2 (Sandler et al., 224x224 input) — depthwise-heavy.
+# ----------------------------------------------------------------------
+def _inverted_residual(
+    tag: str,
+    hw: int,
+    cin: int,
+    cout: int,
+    stride: int = 1,
+    expansion: int = 6,
+    repeats: int = 1,
+) -> List[NetworkLayer]:
+    """One MobileNetV2 bottleneck stage: expand 1x1 → depthwise 3x3 → project 1x1.
+
+    Depthwise convolutions have no cross-channel reduction, so each one is
+    modelled as a per-channel ``1 -> 1`` convolution repeated ``channels``
+    times — preserving the MAC count and the bandwidth-bound, reduction-poor
+    access pattern that makes these layers hard for a GeMM-style engine.
+    """
+    hidden = cin * expansion
+    out_hw = hw // stride
+    layers: List[NetworkLayer] = []
+    if expansion != 1:
+        layers.append(NetworkLayer(_conv(f"{tag}_expand1x1", hw, cin, hidden, 1)))
+    layers.append(
+        NetworkLayer(
+            _conv(f"{tag}_dw3x3", hw, 1, 1, 3, stride=stride, padding=1),
+            count=hidden,
+        )
+    )
+    layers.append(NetworkLayer(_conv(f"{tag}_project1x1", out_hw, hidden, cout, 1)))
+    for repeat in range(1, repeats):
+        rtag = f"{tag}r{repeat}"
+        rhidden = cout * expansion
+        layers.append(NetworkLayer(_conv(f"{rtag}_expand1x1", out_hw, cout, rhidden, 1)))
+        layers.append(
+            NetworkLayer(
+                _conv(f"{rtag}_dw3x3", out_hw, 1, 1, 3, padding=1), count=rhidden
+            )
+        )
+        layers.append(NetworkLayer(_conv(f"{rtag}_project1x1", out_hw, rhidden, cout, 1)))
+    return layers
+
+
+def mobilenet_v2() -> NetworkModel:
+    """MobileNetV2: the depthwise-separable, bandwidth-bound CNN scenario."""
+    layers = [NetworkLayer(_conv("mb2_conv1", 224, 3, 32, 3, stride=2, padding=1))]
+    layers += _inverted_residual("mb2_b1", 112, 32, 16, expansion=1)
+    layers += _inverted_residual("mb2_b2", 112, 16, 24, stride=2, repeats=2)
+    layers += _inverted_residual("mb2_b3", 56, 24, 32, stride=2, repeats=3)
+    layers += _inverted_residual("mb2_b4", 28, 32, 64, stride=2, repeats=4)
+    layers += _inverted_residual("mb2_b5", 14, 64, 96, repeats=3)
+    layers += _inverted_residual("mb2_b6", 14, 96, 160, stride=2, repeats=3)
+    layers += _inverted_residual("mb2_b7", 7, 160, 320)
+    layers.append(NetworkLayer(_conv("mb2_conv_last", 7, 320, 1280, 1)))
+    layers.append(NetworkLayer(_gemm("mb2_fc", 1, 1000, 1280)))
+    return NetworkModel(name="MobileNet-V2", kind="CNN", layers=tuple(layers))
+
+
+# ----------------------------------------------------------------------
 # Registry used by the Table III experiment.
 # ----------------------------------------------------------------------
 def benchmark_networks() -> Dict[str, NetworkModel]:
-    """The four networks of Table III, keyed by the paper's names."""
+    """The four networks of Table III plus the depthwise-heavy MobileNetV2.
+
+    The first four are the paper's Table III columns; MobileNetV2 extends
+    the suite with a bandwidth-bound scenario for design-space exploration.
+    """
     return {
         "ResNet-18": resnet18(),
         "VGG-16": vgg16(),
         "ViT-B-16": vit_base_16(),
         "BERT-Base": bert_base(),
+        "MobileNet-V2": mobilenet_v2(),
     }
 
 

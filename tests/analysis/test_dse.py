@@ -3,6 +3,7 @@
 import pytest
 
 from repro.analysis import (
+    DesignPoint,
     best_point,
     default_sweep_workload,
     sweep_bank_count,
@@ -60,6 +61,16 @@ class TestOtherSweeps:
         )
         assert points[0].utilization < 0.7
 
+    def test_illegal_sweep_values_raise_not_skip(self):
+        # A sweep over explicit values must surface an illegal one, not
+        # silently return fewer points (48 does not divide the 64 banks).
+        with pytest.raises(ValueError):
+            sweep_gima_group_size(group_sizes=(8, 48), workload=SMALL_WORKLOAD)
+        with pytest.raises(ValueError):
+            sweep_data_fifo_depth(depths=(0, 8), workload=SMALL_WORKLOAD)
+        with pytest.raises(ValueError):
+            sweep_bank_count(bank_counts=(48,), workload=SMALL_WORKLOAD)
+
 
 class TestBestPoint:
     def test_selects_highest_utilization(self):
@@ -70,3 +81,40 @@ class TestBestPoint:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             best_point([])
+
+    def _point(self, value, utilization, cycles, conflicts=0):
+        return DesignPoint(
+            parameter="synthetic",
+            value=value,
+            utilization=utilization,
+            kernel_cycles=cycles,
+            bank_conflicts=conflicts,
+            memory_accesses=0,
+        )
+
+    def test_tie_breaks_on_fewest_cycles(self):
+        slow = self._point(1, 0.9, cycles=120)
+        fast = self._point(2, 0.9, cycles=100)
+        assert best_point([slow, fast]) == fast
+        assert best_point([fast, slow]) == fast
+
+    def test_tie_breaks_on_fewest_conflicts_then_smallest_value(self):
+        noisy = self._point(4, 0.9, cycles=100, conflicts=8)
+        clean = self._point(8, 0.9, cycles=100, conflicts=0)
+        assert best_point([noisy, clean]) == clean
+        # Fully tied metrics: the smaller (cheaper) parameter value wins.
+        small = self._point(2, 0.9, cycles=100)
+        large = self._point(16, 0.9, cycles=100)
+        assert best_point([large, small]) == small
+        assert best_point([small, large]) == small
+
+    def test_result_is_input_order_independent(self):
+        points = [
+            self._point(1, 0.8, cycles=125),
+            self._point(2, 0.9, cycles=112, conflicts=3),
+            self._point(4, 0.9, cycles=112, conflicts=1),
+            self._point(8, 0.9, cycles=140),
+        ]
+        forward = best_point(points)
+        backward = best_point(list(reversed(points)))
+        assert forward == backward == points[2]

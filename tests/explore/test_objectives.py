@@ -1,0 +1,145 @@
+"""Tests for objective parsing, scoring and Pareto-frontier extraction."""
+
+import pytest
+
+from repro.explore import (
+    Candidate,
+    Evaluation,
+    ObjectiveSpec,
+    best_by_scalar,
+    dominates,
+    pareto_frontier,
+    parse_objectives,
+)
+
+
+def make_eval(tag: str, **metrics: float) -> Evaluation:
+    return Evaluation(candidate=Candidate.from_dict({"tag": tag}), metrics=metrics)
+
+
+CYCLES = ObjectiveSpec("cycles", "min")
+UTIL = ObjectiveSpec("utilization", "max")
+ENERGY = ObjectiveSpec("energy_pj", "min")
+
+
+class TestObjectiveParsing:
+    def test_intrinsic_directions(self):
+        specs = parse_objectives("cycles,utilization,energy_pj")
+        assert [(s.name, s.goal) for s in specs] == [
+            ("cycles", "min"),
+            ("utilization", "max"),
+            ("energy_pj", "min"),
+        ]
+
+    def test_explicit_direction_override(self):
+        spec = ObjectiveSpec.parse("max:cycles")
+        assert spec.goal == "max"
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ValueError):
+            parse_objectives("cycles,happiness")
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            parse_objectives("cycles,cycles")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_objectives(" , ")
+
+    def test_bad_goal_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectiveSpec("cycles", "sideways")
+
+
+class TestDominance:
+    def test_min_direction(self):
+        fast = make_eval("fast", cycles=10.0, energy_pj=5.0)
+        slow = make_eval("slow", cycles=20.0, energy_pj=5.0)
+        assert dominates(fast, slow, (CYCLES, ENERGY))
+        assert not dominates(slow, fast, (CYCLES, ENERGY))
+
+    def test_max_direction(self):
+        high = make_eval("high", utilization=0.9, cycles=10.0)
+        low = make_eval("low", utilization=0.5, cycles=10.0)
+        assert dominates(high, low, (UTIL, CYCLES))
+
+    def test_trade_off_does_not_dominate(self):
+        a = make_eval("a", cycles=10.0, energy_pj=9.0)
+        b = make_eval("b", cycles=12.0, energy_pj=4.0)
+        assert not dominates(a, b, (CYCLES, ENERGY))
+        assert not dominates(b, a, (CYCLES, ENERGY))
+
+    def test_equal_vectors_do_not_dominate(self):
+        a = make_eval("a", cycles=10.0)
+        b = make_eval("b", cycles=10.0)
+        assert not dominates(a, b, (CYCLES,))
+
+
+class TestParetoFrontier:
+    def test_synthetic_frontier_is_recovered(self):
+        # Three non-dominated trade-off points plus two dominated ones.
+        evaluations = [
+            make_eval("p1", cycles=10.0, energy_pj=30.0),
+            make_eval("p2", cycles=20.0, energy_pj=20.0),
+            make_eval("p3", cycles=30.0, energy_pj=10.0),
+            make_eval("d1", cycles=25.0, energy_pj=25.0),  # dominated by p2
+            make_eval("d2", cycles=40.0, energy_pj=40.0),  # dominated by all
+        ]
+        frontier = pareto_frontier(evaluations, (CYCLES, ENERGY))
+        assert [e.candidate["tag"] for e in frontier] == ["p1", "p2", "p3"]
+
+    def test_frontier_order_is_input_order_independent(self):
+        evaluations = [
+            make_eval("p1", cycles=10.0, energy_pj=30.0),
+            make_eval("p2", cycles=20.0, energy_pj=20.0),
+            make_eval("d1", cycles=25.0, energy_pj=25.0),
+        ]
+        forward = pareto_frontier(evaluations, (CYCLES, ENERGY))
+        backward = pareto_frontier(list(reversed(evaluations)), (CYCLES, ENERGY))
+        assert [e.candidate.key() for e in forward] == [
+            e.candidate.key() for e in backward
+        ]
+
+    def test_single_objective_frontier_is_the_optimum(self):
+        evaluations = [
+            make_eval("a", cycles=12.0),
+            make_eval("b", cycles=10.0),
+            make_eval("c", cycles=11.0),
+        ]
+        frontier = pareto_frontier(evaluations, (CYCLES,))
+        assert [e.candidate["tag"] for e in frontier] == ["b"]
+
+    def test_identical_vectors_all_kept(self):
+        evaluations = [
+            make_eval("a", cycles=10.0),
+            make_eval("b", cycles=10.0),
+        ]
+        frontier = pareto_frontier(evaluations, (CYCLES,))
+        assert len(frontier) == 2
+
+    def test_duplicate_candidates_counted_once(self):
+        twin = make_eval("a", cycles=10.0)
+        frontier = pareto_frontier([twin, twin], (CYCLES,))
+        assert len(frontier) == 1
+
+
+class TestBestByScalar:
+    def test_min_and_max(self):
+        evaluations = [
+            make_eval("a", cycles=12.0, utilization=0.7),
+            make_eval("b", cycles=10.0, utilization=0.9),
+        ]
+        assert best_by_scalar(evaluations, CYCLES).candidate["tag"] == "b"
+        assert best_by_scalar(evaluations, UTIL).candidate["tag"] == "b"
+
+    def test_tie_breaks_on_candidate_key(self):
+        evaluations = [
+            make_eval("zz", cycles=10.0),
+            make_eval("aa", cycles=10.0),
+        ]
+        assert best_by_scalar(evaluations, CYCLES).candidate["tag"] == "aa"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            best_by_scalar([], CYCLES)

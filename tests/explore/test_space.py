@@ -1,0 +1,177 @@
+"""Tests for the declarative search space (axes, constraints, builder)."""
+
+import random
+
+import pytest
+
+from repro.core import FeatureSet
+from repro.explore import (
+    Candidate,
+    GROUP_DIVIDES_BANKS,
+    ParameterAxis,
+    SearchSpace,
+    datamaestro_builder,
+    default_search_space,
+    feature_space,
+    named_search_spaces,
+    search_space_by_name,
+)
+from repro.system import datamaestro_evaluation_system
+
+
+def small_space() -> SearchSpace:
+    return SearchSpace(
+        axes=(
+            ParameterAxis.make("data_fifo_depth", (2, 8)),
+            ParameterAxis.make("num_banks", (32, 64)),
+            ParameterAxis.make("gima_group_size", (16, 64)),
+        ),
+        constraints=(GROUP_DIVIDES_BANKS,),
+        name="small",
+    )
+
+
+class TestAxesAndCandidates:
+    def test_axis_validation(self):
+        with pytest.raises(ValueError):
+            ParameterAxis.make("x", ())
+        with pytest.raises(ValueError):
+            ParameterAxis.make("x", (1, 1))
+        with pytest.raises(TypeError):
+            ParameterAxis.make("x", ((1, 2),))
+
+    def test_candidate_key_is_order_independent(self):
+        a = Candidate.from_dict({"b": 2, "a": 1})
+        b = Candidate.from_dict({"a": 1, "b": 2})
+        assert a == b and a.key() == b.key()
+
+    def test_candidate_lookup(self):
+        candidate = Candidate.from_dict({"num_banks": 64})
+        assert candidate["num_banks"] == 64
+        with pytest.raises(KeyError):
+            candidate["missing"]
+
+
+class TestEnumeration:
+    def test_constraint_filters_invalid_combinations(self):
+        space = small_space()
+        candidates = list(space.enumerate())
+        # 2*2*2 = 8 raw points; group 64 with 32 banks is filtered out.
+        assert len(candidates) == 6
+        for candidate in candidates:
+            assert int(candidate["num_banks"]) % int(candidate["gima_group_size"]) == 0
+
+    def test_enumeration_is_deterministic(self):
+        keys_a = [c.key() for c in small_space().enumerate()]
+        keys_b = [c.key() for c in small_space().enumerate()]
+        assert keys_a == keys_b
+        assert len(set(keys_a)) == len(keys_a)
+
+    def test_illegal_design_reads_as_invalid(self):
+        space = SearchSpace(
+            axes=(ParameterAxis.make("data_fifo_depth", (0, 8)),), name="bad"
+        )
+        # Depth 0 violates StreamerDesign validation → filtered, not raised.
+        assert [c["data_fifo_depth"] for c in space.enumerate()] == [8]
+
+    def test_size_is_cartesian(self):
+        assert small_space().size() == 8
+
+
+class TestSamplingAndMutation:
+    def test_sample_is_seed_deterministic(self):
+        space = small_space()
+        first = [space.sample(random.Random(3)).key() for _ in range(1)]
+        second = [space.sample(random.Random(3)).key() for _ in range(1)]
+        assert first == second
+
+    def test_sample_respects_constraints(self):
+        space = small_space()
+        rng = random.Random(0)
+        for _ in range(20):
+            candidate = space.sample(rng)
+            assert space.is_valid(candidate)
+
+    def test_mutate_changes_exactly_one_axis(self):
+        space = small_space()
+        rng = random.Random(1)
+        candidate = space.sample(rng)
+        mutated = space.mutate(candidate, rng)
+        differences = [
+            name
+            for name, _ in candidate.assignment
+            if candidate[name] != mutated[name]
+        ]
+        assert len(differences) == 1
+        assert space.is_valid(mutated)
+
+    def test_mutate_single_value_space_returns_none(self):
+        space = SearchSpace(axes=(ParameterAxis.make("num_banks", (64,)),))
+        candidate = next(space.enumerate())
+        assert space.mutate(candidate, random.Random(0)) is None
+
+
+class TestBuilder:
+    def test_design_axes_applied(self):
+        space = small_space()
+        candidate = Candidate.from_dict(
+            {"data_fifo_depth": 2, "num_banks": 32, "gima_group_size": 16}
+        )
+        design, features = space.build(candidate)
+        assert design.memory.num_banks == 32
+        assert 16 in design.memory.group_size_options
+        assert design.streamer("A").data_buffer_depth == 2
+        assert design.streamer("B").data_buffer_depth == 2
+        # Non-FIFO ports keep their original depths.
+        assert design.streamer("C").data_buffer_depth == 1
+        assert features == FeatureSet.all_enabled()
+
+    def test_feature_axes_applied(self):
+        space = feature_space()
+        candidate = Candidate.from_dict(
+            {name: False for name in FeatureSet.all_enabled().as_dict()}
+        )
+        _, features = space.build(candidate)
+        assert features == FeatureSet.all_disabled()
+
+    def test_unknown_axis_rejected(self):
+        builder = datamaestro_builder()
+        with pytest.raises(KeyError):
+            builder({"warp_drive": 1})
+
+    def test_unknown_axis_propagates_from_enumeration(self):
+        # A typo'd axis is a space-declaration error, not an invalid
+        # candidate: it must surface, not silently empty the space.
+        space = SearchSpace(axes=(ParameterAxis.make("warp_drive", (1, 2)),))
+        with pytest.raises(KeyError, match="warp_drive"):
+            list(space.enumerate())
+
+    def test_base_design_used_for_pure_fifo_sweep(self):
+        base = datamaestro_evaluation_system(num_banks=32, gima_group_size=8)
+        builder = datamaestro_builder(base_design=base)
+        design, _ = builder({"data_fifo_depth": 4})
+        assert design.memory.num_banks == 32  # base preserved
+        assert design.streamer("A").data_buffer_depth == 4
+
+    def test_digest_tracks_declaration(self):
+        assert small_space().digest() == small_space().digest()
+        other = SearchSpace(
+            axes=(ParameterAxis.make("data_fifo_depth", (2, 4)),), name="small"
+        )
+        assert other.digest() != small_space().digest()
+
+
+class TestNamedSpaces:
+    def test_registry_builds_every_space(self):
+        for name in named_search_spaces():
+            space = search_space_by_name(name)
+            assert space.size() >= 1
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            search_space_by_name("hyperspace")
+
+    def test_default_space_is_joint(self):
+        space = default_search_space()
+        assert len(space.axes) == 3
+        assert all(space.is_valid(c) for c in space.enumerate())

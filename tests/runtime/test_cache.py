@@ -55,6 +55,46 @@ class TestResultCache:
         assert cache.get(key) is None
         assert key not in cache
 
+    def test_truncated_entry_treated_as_miss_and_recoverable(self, tmp_path):
+        """A valid entry cut short (killed writer, full disk) must read as a
+        miss — never raise — and the next put/get cycle must heal it."""
+        cache = ResultCache(tmp_path)
+        job = SimJob(workload=GEMM)
+        key = job.job_hash()
+        outcome = Simulator(cache=cache).simulate(job)
+
+        payload = cache.path_for(key).read_bytes()
+        for cut in (1, len(payload) // 2, len(payload) - 1):
+            cache.path_for(key).write_bytes(payload[:cut])
+            assert cache.get(key) is None
+            assert key not in cache  # the damaged file was removed
+
+        cache.put(key, outcome)
+        healed = cache.get(key)
+        assert healed is not None
+        assert healed.utilization == outcome.utilization
+
+    def test_empty_entry_treated_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = SimJob(workload=GEMM).job_hash()
+        cache.path_for(key).write_bytes(b"")
+        assert cache.get(key) is None
+        assert key not in cache
+
+    def test_garbage_entry_of_valid_pickle_opcodes_rejected(self, tmp_path):
+        """Random bytes that happen to start like a pickle stream still miss."""
+        cache = ResultCache(tmp_path)
+        key = SimJob(workload=GEMM).job_hash()
+        cache.path_for(key).write_bytes(b"\x80\x04\x95\xff\xff\xff\xff" + b"\x00" * 32)
+        assert cache.get(key) is None
+
+    def test_corrupt_entry_does_not_count_as_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = SimJob(workload=GEMM).job_hash()
+        cache.path_for(key).write_bytes(b"junk")
+        cache.get(key)
+        assert cache.hits == 0 and cache.misses == 1
+
     def test_foreign_pickle_rejected(self, tmp_path):
         cache = ResultCache(tmp_path)
         key = SimJob(workload=GEMM).job_hash()

@@ -132,6 +132,107 @@ class TestBatchAndSweep:
         assert "unknown backend" in capsys.readouterr().err
 
 
+class TestExplore:
+    def _argv(self, tmp_path, *extra):
+        return [
+            "explore",
+            "--space",
+            "gima_group",
+            "--axis",
+            "gima_group_size=16,64",
+            "--workload",
+            "gemm:16x16x16",
+            "--budget",
+            "4",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            *extra,
+        ]
+
+    def test_explore_grid_prints_frontier(self, tmp_path, capsys):
+        assert main(self._argv(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+        assert "gima_group_size=16" in out
+        assert "best on cycles" in out
+
+    def test_explore_warm_cache_simulates_nothing(self, tmp_path, capsys):
+        assert main(self._argv(tmp_path)) == 0
+        capsys.readouterr()
+        assert main(self._argv(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "0 simulated" in out and "2 cache hits" in out
+
+    def test_explore_journal_resume(self, tmp_path, capsys):
+        journal = str(tmp_path / "run.jsonl")
+        argv = self._argv(tmp_path, "--journal", journal, "--strategy", "random")
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "2 simulated" in first
+        assert main(argv + ["--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert "0 simulated" in resumed and "2 replayed from journal" in resumed
+
+    def test_explore_resume_requires_journal(self, tmp_path, capsys):
+        assert main(self._argv(tmp_path, "--resume")) == 2
+        assert "--resume requires --journal" in capsys.readouterr().err
+
+    def test_explore_writes_json_and_csv(self, tmp_path, capsys):
+        import json as jsonlib
+
+        json_path = tmp_path / "report.json"
+        csv_path = tmp_path / "report.csv"
+        argv = self._argv(
+            tmp_path, "--json", str(json_path), "--csv", str(csv_path)
+        )
+        assert main(argv) == 0
+        data = jsonlib.loads(json_path.read_text())
+        assert data["num_evaluations"] == 2
+        assert csv_path.read_text().startswith("gima_group_size")
+
+    def test_explore_unknown_space(self, capsys):
+        assert main(["explore", "--space", "hyperspace", "--no-cache"]) == 2
+        assert "unknown search space" in capsys.readouterr().err
+
+    def test_explore_unknown_strategy(self, capsys):
+        assert main(["explore", "--strategy", "magic", "--no-cache"]) == 2
+        assert "unknown strategy" in capsys.readouterr().err
+
+    def test_explore_unknown_objective(self, capsys):
+        assert main(["explore", "--objectives", "happiness", "--no-cache"]) == 2
+        assert "unknown objective" in capsys.readouterr().err
+
+    def test_explore_empty_space_is_an_error_not_a_traceback(self, capsys):
+        # 48 divides neither 32 nor 64: every candidate is filtered out.
+        argv = [
+            "explore",
+            "--space",
+            "default",
+            "--axis",
+            "gima_group_size=48",
+            "--no-cache",
+        ]
+        assert main(argv) == 2
+        assert "no valid candidates" in capsys.readouterr().err
+
+    def test_explore_non_positive_budget_rejected(self, capsys):
+        assert main(["explore", "--budget", "0", "--no-cache"]) == 2
+        assert "--budget must be positive" in capsys.readouterr().err
+
+    def test_explore_typoed_axis_name_names_the_axis(self, capsys):
+        argv = ["explore", "--axis", "data_fifo=2,4", "--no-cache"]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "unknown axes" in err and "data_fifo" in err
+
+    def test_explore_resume_with_missing_journal_rejected(self, tmp_path, capsys):
+        argv = self._argv(
+            tmp_path, "--journal", str(tmp_path / "absent.jsonl"), "--resume"
+        )
+        assert main(argv) == 2
+        assert "nothing to resume" in capsys.readouterr().err
+
+
 class TestSelftest:
     def test_selftest_passes(self, tmp_path, capsys):
         assert main(["selftest", "--cache-dir", str(tmp_path)]) == 0

@@ -8,6 +8,7 @@ from repro.workloads import (
     benchmark_networks,
     bert_base,
     compute_distribution,
+    mobilenet_v2,
     network_by_name,
     resnet18,
     total_layer_instances,
@@ -17,11 +18,19 @@ from repro.workloads import (
 
 
 class TestNetworkTables:
-    def test_benchmark_networks_match_table3(self):
+    def test_benchmark_networks_cover_table3_plus_mobilenet(self):
         networks = benchmark_networks()
-        assert set(networks) == {"ResNet-18", "VGG-16", "ViT-B-16", "BERT-Base"}
+        # Table III's four networks plus the depthwise-heavy DSE scenario.
+        assert set(networks) == {
+            "ResNet-18",
+            "VGG-16",
+            "ViT-B-16",
+            "BERT-Base",
+            "MobileNet-V2",
+        }
         assert networks["ResNet-18"].kind == "CNN"
         assert networks["BERT-Base"].kind == "Transformer"
+        assert networks["MobileNet-V2"].kind == "CNN"
 
     def test_network_by_name(self):
         assert network_by_name("VGG-16").name == "VGG-16"
@@ -65,6 +74,45 @@ class TestNetworkTables:
         assert ffn.workload.n == 3072 and ffn.workload.k == 768
         # ~11 GMACs at sequence length 128.
         assert 0.9e10 < model.total_macs < 1.3e10
+
+    def test_mobilenet_v2_structure(self):
+        model = mobilenet_v2()
+        assert model.name == "MobileNet-V2"
+        # ~300 MMACs at 224x224 — an order of magnitude below ResNet-18.
+        assert 2.5e8 < model.total_macs < 3.5e8
+        assert model.total_macs < resnet18().total_macs / 5
+
+    def test_mobilenet_v2_is_depthwise_heavy(self):
+        model = mobilenet_v2()
+        depthwise = [l for l in model.layers if l.workload.name.endswith("_dw3x3")]
+        pointwise = [
+            l
+            for l in model.layers
+            if isinstance(l.workload, ConvWorkload) and l.workload.is_pointwise
+        ]
+        assert len(depthwise) == 17  # one per inverted-residual block
+        assert len(pointwise) >= 30  # expand + project pairs + head
+        for layer in depthwise:
+            # Depthwise = per-channel convolution: no cross-channel reduction.
+            assert layer.workload.in_channels == 1
+            assert layer.workload.out_channels == 1
+            assert layer.count > 1  # repeated once per channel
+        # Depthwise layers carry many instances but little of the compute:
+        # the reduction-poor, bandwidth-bound regime exploration should cover.
+        dw_macs = sum(l.total_macs for l in depthwise)
+        assert sum(l.count for l in depthwise) > 5000
+        assert dw_macs / model.total_macs < 0.15
+
+    def test_mobilenet_v2_spatial_pyramid(self):
+        model = mobilenet_v2()
+        stem = model.layers[0].workload
+        assert stem.in_height == 224 and stem.stride == 2
+        strided = [
+            l.workload
+            for l in model.layers
+            if isinstance(l.workload, ConvWorkload) and l.workload.is_strided
+        ]
+        assert len(strided) == 5  # stem + four downsampling depthwise stages
 
     def test_bert_sequence_length_parameter(self):
         short = bert_base(sequence_length=64)
