@@ -11,6 +11,10 @@ declares a 16x16x16 GeMM as a :class:`SimJob`, lets the :class:`Simulator`
 compile/run/verify it, and prints the utilization and memory-access
 statistics from the uniform :class:`SimOutcome`.
 
+Part 2 also demonstrates engine selection (docs/ENGINE.md): the same job is
+re-run on the legacy ``lockstep`` loop and compared against the default
+event-driven scheduler — identical cycles, distinct cache identities.
+
 Part 3 goes one step further: it hands the same runtime to the
 ``repro.explore`` design-space exploration engine (docs/EXPLORE.md) and
 searches two design-time parameters jointly, printing the Pareto frontier
@@ -107,6 +111,18 @@ def part2_full_system():
             f"    port {port}: {stats.words_streamed} wide words, "
             f"{stats.requests_granted} word requests"
         )
+
+    # Engine selection (docs/ENGINE.md): the default "event" engine skips
+    # provably idle cycles; "lockstep" is the legacy per-cycle loop.  They
+    # are parity-tested to agree, and the engine is part of the job hash so
+    # cached outcomes from different engines never collide.
+    lockstep = simulator.simulate(job.with_updates(engine="lockstep"))
+    print(
+        f"  engine check: event={outcome.kernel_cycles} cycles, "
+        f"lockstep={lockstep.kernel_cycles} cycles "
+        f"(identical: {outcome.kernel_cycles == lockstep.kernel_cycles}, "
+        f"distinct cache keys: {outcome.job_hash != lockstep.job_hash})"
+    )
 
 
 def part3_design_space_exploration():

@@ -40,8 +40,9 @@ from .core.params import FeatureSet, StreamerDesign, StreamerMode, StreamerRunti
 from .core.streamer import DataMaestro
 from .memory.addressing import AddressingMode, BankGeometry
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+from .engine import DEFAULT_ENGINE, EVENT_ENGINE, LOCKSTEP_ENGINE, available_engines
 from .runtime import BatchRunner, SimJob, SimOutcome, Simulator, simulate
 
 __all__ = [
@@ -57,5 +58,9 @@ __all__ = [
     "Simulator",
     "BatchRunner",
     "simulate",
+    "DEFAULT_ENGINE",
+    "EVENT_ENGINE",
+    "LOCKSTEP_ENGINE",
+    "available_engines",
     "__version__",
 ]

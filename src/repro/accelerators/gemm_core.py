@@ -169,6 +169,31 @@ class GemmCore:
                 return False
         return True
 
+    def can_fire(self) -> bool:
+        """Whether a MAC step would fire this cycle (operands + sink ready)."""
+        return self.busy and self._inputs_available()
+
+    # ------------------------------------------------------------------
+    # Next-event protocol (see repro.engine).
+    # ------------------------------------------------------------------
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """``now`` while a MAC burst can continue, else ``None``.
+
+        The core is purely data-driven: when it cannot fire it is waiting on
+        a streamer word or on sink back-pressure, and the component that
+        resolves the wait reports the wake-up event.
+        """
+        return now if self.can_fire() else None
+
+    def advance(self, cycles: int) -> None:
+        """Bulk-apply ``cycles`` skipped cycles to the stall counter.
+
+        Matches what per-cycle :meth:`step` calls would have recorded: a
+        busy core that cannot fire stalls every cycle of the span.
+        """
+        if self.busy:
+            self.stall_cycles += cycles
+
     def step(self) -> bool:
         """Advance one cycle; return True if a MAC step fired."""
         if self.job is None or self.done:

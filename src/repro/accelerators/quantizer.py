@@ -103,6 +103,20 @@ class Quantizer:
     def busy(self) -> bool:
         return not self._pending.is_empty
 
+    # ------------------------------------------------------------------
+    # Next-event protocol (see repro.engine).
+    # ------------------------------------------------------------------
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """``now`` when a pending tile can be rescaled, else ``None``."""
+        if self.busy and self.output_sink is not None and self.output_sink.input_ready():
+            return now
+        return None
+
+    def advance(self, cycles: int) -> None:
+        """Bulk-apply ``cycles`` skipped cycles to the stall counter."""
+        if self.busy:
+            self.stall_cycles += cycles
+
     def step(self) -> bool:
         """Requantize one pending tile if the output streamer can accept it."""
         if self._pending.is_empty:

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..core.params import ABLATION_STEPS, FeatureSet
+from ..engine import DEFAULT_ENGINE
 from ..runtime.job import SimJob
 from ..runtime.outcome import SimOutcome
 from ..runtime.simulator import Simulator
@@ -189,9 +190,11 @@ class AblationStudy:
         steps: Optional[Sequence[str]] = None,
         seed: int = 0,
         simulator: Optional[Simulator] = None,
+        engine: str = DEFAULT_ENGINE,
     ) -> None:
         self.design = design or datamaestro_evaluation_system()
         self.simulator = simulator or Simulator()
+        self.engine = engine
         all_steps = dict(ABLATION_STEPS)
         if steps is None:
             self.steps: Dict[str, FeatureSet] = dict(ABLATION_STEPS)
@@ -209,6 +212,7 @@ class AblationStudy:
             design=self.design,
             features=features,
             seed=self.seed,
+            engine=self.engine,
         )
 
     def run_workload(self, workload: Workload, features: FeatureSet) -> SimOutcome:

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..core.params import FeatureSet
+from ..engine import DEFAULT_ENGINE
 from ..runtime.job import SimJob
 from ..runtime.simulator import Simulator
 from ..system.design import AcceleratorSystemDesign, datamaestro_evaluation_system
@@ -135,11 +136,13 @@ class NetworkPerformanceEstimator:
         features: Optional[FeatureSet] = None,
         seed: int = 0,
         simulator: Optional[Simulator] = None,
+        engine: str = DEFAULT_ENGINE,
     ) -> None:
         self.design = design or datamaestro_evaluation_system()
         self.features = features or FeatureSet.all_enabled()
         self.simulator = simulator or Simulator()
         self.seed = seed
+        self.engine = engine
         self._cache: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
@@ -159,6 +162,7 @@ class NetworkPerformanceEstimator:
                     design=self.design,
                     features=self.features,
                     seed=self.seed,
+                    engine=self.engine,
                     label=f"crop:{workload.name}",
                 )
             )

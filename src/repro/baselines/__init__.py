@@ -10,6 +10,7 @@ from typing import Callable, Dict, List
 
 from .base import (
     TABLE1_FEATURES,
+    AnalyticCycleModel,
     DataMovementSolution,
     FeatureProfile,
     OverheadProfile,
@@ -117,6 +118,7 @@ __all__ = [
     "TABLE1_ORDER",
     "OVERHEAD_ORDER",
     "BASELINE_REGISTRY",
+    "AnalyticCycleModel",
     "DataMovementSolution",
     "FeatureProfile",
     "OverheadProfile",

@@ -23,7 +23,9 @@ Provides quick access to the main entry points without writing Python:
 
 All simulation goes through :mod:`repro.runtime`; ``--jobs``, ``--cache-dir``
 and ``--no-cache`` control parallelism and result caching wherever they
-appear.
+appear, and ``--engine {event,lockstep}`` selects the simulation engine
+(event-driven next-event scheduling vs the legacy per-cycle loop; see
+``docs/ENGINE.md``).
 """
 
 from __future__ import annotations
@@ -46,6 +48,7 @@ from .explore import (
     parse_objectives,
     search_space_by_name,
 )
+from .engine import DEFAULT_ENGINE, available_engines
 from .runtime import (
     DATAMAESTRO_BACKEND,
     SimJob,
@@ -93,6 +96,13 @@ def _add_runtime_flags(
         "--no-cache",
         action="store_true",
         help="disable the on-disk result cache",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=available_engines(),
+        default=DEFAULT_ENGINE,
+        help="simulation engine: 'event' skips provably idle cycles, "
+        "'lockstep' is the legacy per-cycle loop (see docs/ENGINE.md)",
     )
     parser.set_defaults(cache_default=cache_default)
 
@@ -205,6 +215,7 @@ def _print_simulation(outcome) -> None:
     rows = [
         ["workload", outcome.workload_name],
         ["backend", outcome.backend],
+        ["engine", outcome.provenance.get("engine", "-")],
         ["ideal compute cycles", outcome.ideal_compute_cycles],
         ["kernel cycles", outcome.kernel_cycles],
         ["utilization", f"{outcome.utilization:.2%}"],
@@ -250,6 +261,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     if "simulator" in parameters:
         simulator = _simulator_from_args(args)
         kwargs["simulator"] = simulator
+    if "engine" in parameters:
+        kwargs["engine"] = getattr(args, "engine", DEFAULT_ENGINE)
     results = module.run(**kwargs)
     print(module.report(results))
     if simulator is not None:
@@ -267,7 +280,7 @@ def cmd_simulate_gemm(args: argparse.Namespace) -> int:
         quantize=args.quantize,
     )
     outcome = _simulator_from_args(args).simulate(
-        SimJob(workload=workload, features=_features_from_args(args))
+        SimJob(workload=workload, features=_features_from_args(args), engine=args.engine)
     )
     _print_simulation(outcome)
     return 0
@@ -287,7 +300,7 @@ def cmd_simulate_conv(args: argparse.Namespace) -> int:
         quantize=args.quantize,
     )
     outcome = _simulator_from_args(args).simulate(
-        SimJob(workload=workload, features=_features_from_args(args))
+        SimJob(workload=workload, features=_features_from_args(args), engine=args.engine)
     )
     _print_simulation(outcome)
     return 0
@@ -309,7 +322,13 @@ def cmd_batch(args: argparse.Namespace) -> int:
     simulator = _simulator_from_args(args)
     features = _features_from_args(args)
     jobs = [
-        SimJob(workload=workload, features=features, backend=args.backend, seed=args.seed)
+        SimJob(
+            workload=workload,
+            features=features,
+            backend=args.backend,
+            seed=args.seed,
+            engine=args.engine,
+        )
         for workload in workloads
     ]
     outcomes = simulator.simulate_many(jobs)
@@ -346,6 +365,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         features=[ladder[step] for step in step_names],
         backends=(args.backend,) if args.backend else (DATAMAESTRO_BACKEND,),
         seed=args.seed,
+        engine=args.engine,
     )
     # sweep() nests feature sets outside workloads, in deterministic order.
     comparison = {workload.name: {} for workload in workloads}
@@ -430,6 +450,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
         simulator=simulator,
         seed=args.seed,
         sim_seed=args.sim_seed,
+        sim_engine=args.engine,
     )
     try:
         report_data = engine.run(
@@ -486,8 +507,9 @@ def cmd_explore(args: argparse.Namespace) -> int:
 def cmd_selftest(args: argparse.Namespace) -> int:
     """Run one tiny GeMM job end-to-end, twice, through a result cache."""
     cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="repro-selftest-")
+    engine = getattr(args, "engine", DEFAULT_ENGINE)
     workload = GemmWorkload(name="selftest_gemm", m=16, n=16, k=16)
-    job = SimJob(workload=workload, label="selftest")
+    job = SimJob(workload=workload, engine=engine, label="selftest")
 
     cold = Simulator(cache_dir=cache_dir)
     outcome = cold.simulate(job)
@@ -509,7 +531,7 @@ def cmd_selftest(args: argparse.Namespace) -> int:
         return 1
     print(
         f"selftest ok: {workload.name} at {outcome.utilization:.2%} utilization, "
-        f"{outcome.kernel_cycles} cycles (cache: {cache_dir})"
+        f"{outcome.kernel_cycles} cycles, engine {engine} (cache: {cache_dir})"
     )
     return 0
 
@@ -688,6 +710,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="cache directory (default: a fresh temporary directory)",
+    )
+    selftest.add_argument(
+        "--engine",
+        choices=available_engines(),
+        default=DEFAULT_ENGINE,
+        help="simulation engine to exercise (event or lockstep)",
     )
     selftest.set_defaults(func=cmd_selftest)
 

@@ -176,6 +176,17 @@ class AddressGenerationUnit:
     def bundles_generated(self) -> int:
         return self.temporal.steps_generated
 
+    @property
+    def remaining_bundles(self) -> int:
+        """Bundles not yet produced — ``0`` means "all addresses generated".
+
+        The event-driven scheduler (:mod:`repro.engine`) uses this as the
+        AGU's contribution to the next-event protocol: an exhausted AGU can
+        never wake its streamer again, so the streamer reports no
+        self-scheduled events once this reaches zero.
+        """
+        return self.temporal.total_iterations - self.temporal.steps_generated
+
     def reset(self) -> None:
         self.temporal.reset()
 

@@ -92,6 +92,34 @@ class StreamChannel:
     def can_issue_write(self) -> bool:
         return not self.address_fifo.is_empty and not self.data_fifo.is_empty
 
+    def can_issue(self) -> bool:
+        """Whether the MIC could issue a request this cycle (mode-aware)."""
+        return self.can_issue_read() if self.is_read else self.can_issue_write()
+
+    # ------------------------------------------------------------------
+    # Next-event protocol (see repro.engine).
+    # ------------------------------------------------------------------
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """``now`` when the MIC can issue a request, else ``None``.
+
+        A channel has no timed events of its own: when it cannot issue it is
+        waiting on an external input (a credit freed by a memory response, an
+        address from the AGU, or data from the accelerator), each of which is
+        reported by the component that produces it.
+        """
+        return now if self.can_issue() else None
+
+    def advance(self, cycles: int) -> None:
+        """Bulk-apply ``cycles`` skipped cycles to the stall counters.
+
+        Mirrors what :meth:`issue` would have recorded had it been called
+        once per cycle across an inactive span: a read channel holding
+        addresses but no Outstanding-Request-Manager credits counts a credit
+        stall every cycle.
+        """
+        if self.is_read and not self.address_fifo.is_empty and self.read_credits <= 0:
+            self.credit_stall_cycles += cycles
+
     # ------------------------------------------------------------------
     # Request Side Controller: per-cycle issue.
     # ------------------------------------------------------------------

@@ -144,9 +144,12 @@ class DataMaestro:
     # ------------------------------------------------------------------
     # Phase 1: memory responses.
     # ------------------------------------------------------------------
-    def collect_responses(self, memory: MemorySubsystem) -> None:
+    def collect_responses(self, memory: MemorySubsystem) -> int:
+        """Drain matured responses into the FIFOs; return the count drained."""
+        collected = 0
         for channel in self._active():
-            channel.collect(memory)
+            collected += channel.collect(memory)
+        return collected
 
     # ------------------------------------------------------------------
     # Phase 2: accelerator-facing wide-word interface.
@@ -239,6 +242,33 @@ class DataMaestro:
             if channel.issue(memory):
                 issued += 1
         return issued
+
+    # ------------------------------------------------------------------
+    # Next-event protocol (see repro.engine).
+    # ------------------------------------------------------------------
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Earliest cycle at which this streamer can act on its own.
+
+        ``now`` when the AGU can produce a bundle this cycle or any channel's
+        MIC can issue a request; ``None`` when the streamer is drained
+        ("all my addresses are generated") or blocked on external input (a
+        memory response, or the accelerator consuming/producing a word) —
+        those wake-ups are reported by the memory subsystem and the
+        accelerators respectively.
+        """
+        if self.agu is None:
+            return None
+        if self.agu.remaining_bundles and self._prefetch_gate_open():
+            return now
+        for channel in self._active():
+            if channel.can_issue():
+                return now
+        return None
+
+    def advance(self, cycles: int) -> None:
+        """Bulk-apply ``cycles`` skipped cycles to the per-channel counters."""
+        for channel in self._active():
+            channel.advance(cycles)
 
     # ------------------------------------------------------------------
     # Statistics.

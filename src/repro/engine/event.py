@@ -1,0 +1,89 @@
+"""The next-event scheduler: skip cycles in which nothing can happen.
+
+The event-driven engine executes real ``step()`` calls only for cycles in
+which the model can change state, and fast-forwards over inactive spans:
+
+1. step the target one cycle, exactly like lockstep;
+2. if that step performed zero state changes (``last_step_activity == 0``)
+   the model is at a *fixpoint*: every further cycle is provably identical
+   until an external event arrives.  Ask the target for its next event
+   (for the DataMaestro system the only timed event source is the memory's
+   in-flight responses — everything else is combinationally blocked on them);
+3. bulk-apply the span up to that event via ``advance(n)`` — components add
+   the skipped cycles to their stall/idle counters (GeMM stalls, quantizer
+   stalls, per-channel credit stalls) so statistics stay *exact* — and jump
+   the clock;
+4. if the target reports no future event at a fixpoint, the model is
+   deadlocked: no amount of stepping will ever change anything, so the
+   engine fast-forwards straight to the cycle budget and raises the same
+   :class:`~repro.sim.result.SimulationLimitError` (same cycle count, same
+   deadlock report, same bulk-advanced counters) that lockstep would reach
+   after millions of no-op steps.
+
+Because every *executed* cycle runs the unmodified phase code and every
+*skipped* cycle is proven to be a no-op apart from the bulk-applied
+counters, results are bit-identical to the lockstep engine; the parity
+suite under ``tests/engine/`` enforces this across the experiment
+workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from .base import EVENT_ENGINE, SimulationEngine, supports_event_protocol
+
+
+class EventDrivenEngine(SimulationEngine):
+    """Drives an :class:`~repro.engine.base.EventDriven` target to completion."""
+
+    name = EVENT_ENGINE
+
+    def drive(
+        self,
+        target,
+        max_cycles: int,
+        describe: str = "simulation",
+        detail: Optional[Union[str, Callable[[], str]]] = None,
+        progress_callback: Optional[Callable[[int], None]] = None,
+        progress_interval: int = 100_000,
+    ) -> int:
+        if not supports_event_protocol(target):
+            raise TypeError(
+                f"target {type(target).__name__} does not implement the "
+                "event protocol (step/last_step_activity/next_event_cycle/"
+                "advance); use the lockstep engine instead"
+            )
+        cycles = 0
+        busy = True
+        while busy:
+            if cycles >= max_cycles:
+                raise self._budget_error(describe, cycles, max_cycles, detail)
+            busy = target.step()
+            cycles += 1
+            if progress_callback is not None and cycles % progress_interval == 0:
+                progress_callback(cycles)
+            if not busy or target.last_step_activity:
+                continue
+
+            # Fixpoint: nothing moved this cycle, so nothing can move until
+            # the target's next self-scheduled event.
+            event = target.next_event_cycle()
+            if event is None:
+                # Deadlock.  Lockstep would spin to the budget accumulating
+                # stall counters; reproduce that state, then raise.
+                if max_cycles > cycles:
+                    target.advance(max_cycles - cycles)
+                    cycles = max_cycles
+                raise self._budget_error(describe, cycles, max_cycles, detail)
+            span = min(event, max_cycles) - cycles
+            if span > 0:
+                target.advance(span)
+                previous = cycles
+                cycles += span
+                if (
+                    progress_callback is not None
+                    and cycles // progress_interval > previous // progress_interval
+                ):
+                    progress_callback(cycles)
+        return cycles

@@ -20,6 +20,7 @@ from typing import Dict, Optional
 
 from ..analysis.ablation import STEP_LABELS, AblationResults, AblationStudy
 from ..analysis.reporting import format_comparison, format_table
+from ..engine import DEFAULT_ENGINE
 from ..runtime.simulator import Simulator
 from ..system.design import AcceleratorSystemDesign
 from ..workloads.spec import WorkloadGroup
@@ -63,17 +64,19 @@ def run(
     design: Optional[AcceleratorSystemDesign] = None,
     seed: int = 0,
     simulator: Optional[Simulator] = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> Dict[str, object]:
     """Run the ablation sweep and return the Figure 7 summaries.
 
     ``simulator`` routes every cycle simulation through a shared
     :class:`~repro.runtime.simulator.Simulator` — pass one with a result
     cache and/or worker pool to make repeated runs incremental and parallel.
+    ``engine`` selects the simulation engine (``"event"`` / ``"lockstep"``).
     """
     use_full = full_suite_requested(full)
     if workloads_per_group is None:
         workloads_per_group = None if use_full else DEFAULT_WORKLOADS_PER_GROUP
-    study = AblationStudy(design=design, seed=seed, simulator=simulator)
+    study = AblationStudy(design=design, seed=seed, simulator=simulator, engine=engine)
     results: AblationResults = study.run(
         suite=synthetic_suite(), workloads_per_group=workloads_per_group
     )

@@ -15,6 +15,7 @@ from typing import Dict, Optional
 
 from ..analysis.network_perf import NetworkPerformanceEstimator
 from ..analysis.reporting import format_table
+from ..engine import DEFAULT_ENGINE
 from ..runtime.simulator import Simulator
 from ..system.design import AcceleratorSystemDesign
 from ..workloads.networks import benchmark_networks
@@ -33,8 +34,11 @@ def run(
     networks: Optional[Dict[str, object]] = None,
     seed: int = 0,
     simulator: Optional[Simulator] = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> Dict[str, object]:
-    estimator = NetworkPerformanceEstimator(design=design, seed=seed, simulator=simulator)
+    estimator = NetworkPerformanceEstimator(
+        design=design, seed=seed, simulator=simulator, engine=engine
+    )
     models = networks or benchmark_networks()
     estimates = estimator.estimate_networks(models)
     summary = {}

@@ -29,8 +29,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
+from ..engine import DEFAULT_ENGINE
 from ..runtime.job import DATAMAESTRO_BACKEND, SimJob, stable_digest, canonical_encode
 from ..runtime.simulator import Simulator
+from ..sim.result import DEFAULT_CYCLE_BUDGET
 from ..workloads.spec import GemmWorkload, Workload
 from .journal import JournalError, RunJournal
 from .objectives import (
@@ -151,7 +153,8 @@ class ExplorationEngine:
         seed: int = 0,
         sim_seed: int = 0,
         backend: str = DATAMAESTRO_BACKEND,
-        max_cycles: int = 5_000_000,
+        max_cycles: int = DEFAULT_CYCLE_BUDGET,
+        sim_engine: str = DEFAULT_ENGINE,
     ) -> None:
         if not objectives:
             raise ValueError("at least one objective is required")
@@ -164,6 +167,7 @@ class ExplorationEngine:
         self.sim_seed = sim_seed
         self.backend = backend
         self.max_cycles = max_cycles
+        self.sim_engine = sim_engine
 
     # ------------------------------------------------------------------
     def journal_header(self, budget: int) -> Dict[str, object]:
@@ -180,6 +184,7 @@ class ExplorationEngine:
             "seed": self.seed,
             "sim_seed": self.sim_seed,
             "backend": self.backend,
+            "sim_engine": self.sim_engine,
             "objectives": [f"{spec.goal}:{spec.name}" for spec in self.objectives],
             "workloads": stable_digest(
                 [canonical_encode(workload) for workload in self.workloads]
@@ -201,6 +206,7 @@ class ExplorationEngine:
                         backend=self.backend,
                         seed=self.sim_seed,
                         max_cycles=self.max_cycles,
+                        engine=self.sim_engine,
                         label=f"explore:{candidate.key()}",
                     )
                 )

@@ -16,6 +16,14 @@ designed to avoid.
   contenders) and performs the SRAM access;
 * read data and write acknowledgements become visible to the requester
   ``read_latency`` cycles after the grant, via :meth:`collect_responses`.
+
+For the event-driven simulation kernel (:mod:`repro.engine`) the subsystem
+additionally implements the next-event protocol: :meth:`next_event_cycle`
+reports the earliest cycle at which the memory can change state (now, when
+requests are pending or matured responses await collection; the earliest
+``ready_cycle`` when only in-flight responses remain; never, when fully
+idle), and :meth:`advance` fast-forwards the clock over a span the scheduler
+has proven inactive.
 """
 
 from __future__ import annotations
@@ -128,21 +136,25 @@ class MemorySubsystem:
     # ------------------------------------------------------------------
     # Cycle behaviour.
     # ------------------------------------------------------------------
-    def deliver(self) -> None:
+    def deliver(self) -> int:
         """Move matured in-flight responses to their requester queues.
 
         Called at the start of every cycle, before requesters look at their
-        response queues.
+        response queues.  Returns the number of responses that matured (the
+        event scheduler uses this as an activity signal).
         """
         if not self._in_flight:
-            return
+            return 0
         still_flying: List[MemoryResponse] = []
+        delivered = 0
         for response in self._in_flight:
             if response.ready_cycle <= self.cycle:
                 self._state(response.requester).responses.append(response)
+                delivered += 1
             else:
                 still_flying.append(response)
         self._in_flight = still_flying
+        return delivered
 
     def _pick_winner(self, bank: int, contenders: List[MemoryRequest]) -> int:
         """Round-robin selection among contenders for one bank."""
@@ -160,8 +172,11 @@ class MemorySubsystem:
                 return idx
         return ordering[0]
 
-    def arbitrate(self) -> None:
-        """Grant at most one head-of-queue request per bank this cycle."""
+    def arbitrate(self) -> int:
+        """Grant at most one head-of-queue request per bank this cycle.
+
+        Returns the number of grants performed.
+        """
         by_bank: Dict[int, List[MemoryRequest]] = {}
         for name, state in self._requesters.items():
             if state.pending:
@@ -180,6 +195,7 @@ class MemorySubsystem:
             state.pending.popleft()
             state.granted += 1
             self._perform_access(winner)
+        return len(by_bank)
 
     def _perform_access(self, request: MemoryRequest) -> None:
         if request.is_write:
@@ -203,10 +219,48 @@ class MemorySubsystem:
         )
         self._in_flight.append(response)
 
-    def step(self) -> None:
-        """Arbitrate this cycle's requests and advance the clock."""
-        self.arbitrate()
+    def step(self) -> int:
+        """Arbitrate this cycle's requests and advance the clock.
+
+        Returns the number of grants performed this cycle.
+        """
+        granted = self.arbitrate()
         self.cycle += 1
+        return granted
+
+    # ------------------------------------------------------------------
+    # Next-event protocol (see repro.engine).
+    # ------------------------------------------------------------------
+    def next_event_cycle(self) -> Optional[int]:
+        """Earliest cycle at which this subsystem can change state.
+
+        * ``self.cycle`` when any request awaits arbitration or a matured
+          response awaits collection — the memory can act *now*;
+        * the earliest ``ready_cycle`` when only in-flight responses remain —
+          the memory's only pending event is that delivery;
+        * ``None`` when fully idle: without new requests, nothing will ever
+          happen here again.
+        """
+        for state in self._requesters.values():
+            if state.pending or state.responses:
+                return self.cycle
+        earliest: Optional[int] = None
+        for response in self._in_flight:
+            if earliest is None or response.ready_cycle < earliest:
+                earliest = response.ready_cycle
+        return earliest
+
+    def advance(self, cycles: int) -> None:
+        """Fast-forward the clock over ``cycles`` provably inactive cycles.
+
+        The caller (the event scheduler) guarantees that no request is
+        pending and no in-flight response matures inside the span, so the
+        per-cycle :meth:`arbitrate` calls being skipped would all have been
+        no-ops.
+        """
+        if cycles < 0:
+            raise ValueError("cannot advance by a negative number of cycles")
+        self.cycle += cycles
 
     # ------------------------------------------------------------------
     # Statistics & housekeeping.

@@ -17,9 +17,11 @@ served from the on-disk result cache.
 * :mod:`repro.runtime.simulator` — the :class:`Simulator` facade.
 
 See ``docs/RUNTIME.md`` for the job model, caching semantics and how to add
-a backend.
+a backend; ``docs/ENGINE.md`` covers the ``engine`` job field (event-driven
+vs lockstep simulation).
 """
 
+from ..engine import DEFAULT_ENGINE, EVENT_ENGINE, LOCKSTEP_ENGINE, available_engines
 from .backends import (
     BASELINE_BACKEND_PREFIX,
     BaselineModelBackend,
@@ -57,4 +59,8 @@ __all__ = [
     "DATAMAESTRO_BACKEND",
     "BASELINE_BACKEND_PREFIX",
     "CACHE_DIR_ENV",
+    "DEFAULT_ENGINE",
+    "EVENT_ENGINE",
+    "LOCKSTEP_ENGINE",
+    "available_engines",
 ]

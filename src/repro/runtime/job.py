@@ -24,6 +24,8 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional
 
 from ..core.params import FeatureSet
+from ..engine import DEFAULT_ENGINE, validate_engine
+from ..sim.result import DEFAULT_CYCLE_BUDGET
 from ..system.design import AcceleratorSystemDesign, datamaestro_evaluation_system
 from ..workloads.spec import Workload
 
@@ -84,6 +86,13 @@ class SimJob:
         Operand-data seed forwarded to the compiler.
     max_cycles:
         Cycle budget for cycle-level backends.
+    engine:
+        Simulation engine for cycle-level backends: ``"event"`` (the
+        next-event scheduler, the default) or ``"lockstep"`` (the legacy
+        per-cycle loop).  Part of the job hash, so outcomes produced by
+        different engines never collide in the result cache — the engines
+        are parity-tested to agree, but a cached cross-engine answer would
+        silently mask any divergence.
     label:
         Free-form tag for reports; *excluded* from the job hash.
     """
@@ -93,7 +102,8 @@ class SimJob:
     features: Optional[FeatureSet] = None
     backend: str = DATAMAESTRO_BACKEND
     seed: int = 0
-    max_cycles: int = 5_000_000
+    max_cycles: int = DEFAULT_CYCLE_BUDGET
+    engine: str = DEFAULT_ENGINE
     label: str = field(default="", compare=False)
 
     def __post_init__(self) -> None:
@@ -105,6 +115,7 @@ class SimJob:
             raise ValueError("backend name must be non-empty")
         if self.max_cycles <= 0:
             raise ValueError("max_cycles must be positive")
+        validate_engine(self.engine)
 
     # ------------------------------------------------------------------
     def job_hash(self) -> str:
@@ -116,6 +127,7 @@ class SimJob:
             "backend": self.backend,
             "seed": self.seed,
             "max_cycles": self.max_cycles,
+            "engine": self.engine,
         }
         return stable_digest(payload)
 
@@ -133,6 +145,7 @@ class SimJob:
             "backend": self.backend,
             "seed": self.seed,
             "max_cycles": self.max_cycles,
+            "engine": self.engine,
             "label": self.label,
             "job_hash": self.job_hash(),
         }

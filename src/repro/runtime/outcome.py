@@ -23,6 +23,7 @@ def _job_provenance(job: SimJob) -> Dict[str, Any]:
     return {
         "package_version": __version__,
         "backend": job.backend,
+        "engine": job.engine,
         "design": job.design.name,
         "features": job.features.as_dict(),
         "seed": job.seed,

@@ -21,6 +21,7 @@ from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Union
 
 from ..core.params import FeatureSet
+from ..engine import DEFAULT_ENGINE
 from ..system.design import AcceleratorSystemDesign
 from ..workloads.spec import Workload
 from .backends import get_backend
@@ -95,11 +96,13 @@ class Simulator:
         backends: Sequence[str] = (DATAMAESTRO_BACKEND,),
         seed: int = 0,
         max_workers: Optional[int] = None,
+        engine: str = DEFAULT_ENGINE,
     ) -> List[SimOutcome]:
         """Cartesian sweep: workloads × features × designs × backends.
 
         Returns outcomes in the deterministic nesting order
         ``for backend / for design / for feature-set / for workload``.
+        ``engine`` selects the simulation engine for every job of the sweep.
         """
         feature_axis: Sequence[Optional[FeatureSet]] = features or [None]
         design_axis = designs or [None]
@@ -110,6 +113,7 @@ class Simulator:
                 features=feature_set,
                 backend=backend,
                 seed=seed,
+                engine=engine,
             )
             for backend in backends
             for design in design_axis

@@ -2,6 +2,7 @@
 
 from .fifo import Fifo, FifoError
 from .result import (
+    DEFAULT_CYCLE_BUDGET,
     RunSummary,
     SimulationLimitError,
     SimulationResult,
@@ -12,6 +13,7 @@ from .stats import StatCounters, StreamerStats, merge_counter_dicts
 from .trace import CycleTracer, TraceProbe, trace_streamer_occupancy
 
 __all__ = [
+    "DEFAULT_CYCLE_BUDGET",
     "CycleTracer",
     "TraceProbe",
     "trace_streamer_occupancy",

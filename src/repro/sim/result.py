@@ -21,6 +21,17 @@ from typing import Any, Dict, Mapping, Optional
 
 from .stats import StreamerStats
 
+#: Default cycle budget shared by every simulation driver.
+#:
+#: Historically :class:`~repro.sim.runner.CycleRunner` defaulted to ten
+#: million cycles while :meth:`repro.system.system.AcceleratorSystem.run`
+#: hard-coded five million; the single source of truth now lives here and is
+#: threaded through the runner, the system model and
+#: :class:`~repro.runtime.job.SimJob`.  Exceeding the budget raises
+#: :class:`SimulationLimitError`, whose ``detail`` carries the deadlock
+#: report.
+DEFAULT_CYCLE_BUDGET = 10_000_000
+
 
 @dataclass
 class SimulationResult:

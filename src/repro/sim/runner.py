@@ -1,17 +1,25 @@
 """Cycle-loop runner shared by the system models.
 
-The DataMaestro evaluation system and the baseline models all expose a
+The DataMaestro evaluation system and other cycle-level models expose a
 ``step() -> bool`` method ("perform one clock cycle, return True while still
 busy").  :class:`CycleRunner` drives such objects until completion, enforces a
 cycle budget so deadlocks surface as errors instead of hangs, and records the
 elapsed cycle count.
+
+The runner is a thin driver over the simulation engines in
+:mod:`repro.engine`: targets that implement the event protocol
+(``last_step_activity`` / ``next_event_cycle()`` / ``advance(n)`` alongside
+``step()``) are scheduled event-driven by default — time jumps over provably
+inactive spans — while plain :class:`Steppable` targets fall back to the
+legacy lockstep loop.  Pass ``engine="lockstep"`` or ``engine="event"`` to
+force a mode.
 """
 
 from __future__ import annotations
 
 from typing import Callable, List, Optional, Protocol, Sequence
 
-from .result import SimulationLimitError
+from .result import DEFAULT_CYCLE_BUDGET
 
 
 class Steppable(Protocol):
@@ -31,23 +39,49 @@ class CycleRunner:
         Upper bound on the number of cycles to simulate.  Exceeding it raises
         :class:`SimulationLimitError`, which almost always indicates a
         deadlock (e.g. a write streamer waiting for data that will never
-        arrive because of a mis-configured AGU).
+        arrive because of a mis-configured AGU).  Defaults to the package-wide
+        :data:`~repro.sim.result.DEFAULT_CYCLE_BUDGET`.
     progress_callback:
         Optional callable invoked every ``progress_interval`` cycles with the
-        current cycle count; useful for long experiment sweeps.
+        current cycle count; useful for long experiment sweeps.  Under the
+        event engine a bulk advance that crosses one or more interval
+        boundaries triggers a single invocation with the post-jump count.
+    engine:
+        ``"event"``, ``"lockstep"``, or ``None`` (the default) to pick
+        automatically: event-driven for targets implementing the event
+        protocol, lockstep otherwise.
     """
 
     def __init__(
         self,
-        max_cycles: int = 10_000_000,
+        max_cycles: int = DEFAULT_CYCLE_BUDGET,
         progress_callback: Optional[Callable[[int], None]] = None,
         progress_interval: int = 100_000,
+        engine: Optional[str] = None,
     ) -> None:
+        # Imported here to keep repro.sim free of a hard package-level
+        # dependency on repro.engine (which imports repro.sim.result).
+        from ..engine import validate_engine
+
         if max_cycles <= 0:
             raise ValueError("max_cycles must be positive")
         self.max_cycles = int(max_cycles)
         self.progress_callback = progress_callback
         self.progress_interval = int(progress_interval)
+        self.engine = validate_engine(engine) if engine is not None else None
+
+    def _engine_for(self, target: Steppable):
+        from ..engine import (
+            EVENT_ENGINE,
+            LOCKSTEP_ENGINE,
+            get_engine,
+            supports_event_protocol,
+        )
+
+        if self.engine is not None:
+            return get_engine(self.engine)
+        name = EVENT_ENGINE if supports_event_protocol(target) else LOCKSTEP_ENGINE
+        return get_engine(name)
 
     def run(self, target: Steppable, name: Optional[str] = None) -> int:
         """Step ``target`` until it reports completion; return cycles used.
@@ -58,24 +92,15 @@ class CycleRunner:
         """
         if name is None:
             name = getattr(target, "name", None)
-        cycles = 0
-        busy = True
-        while busy:
-            if cycles >= self.max_cycles:
-                what = f"simulation of {name!r}" if name else "simulation"
-                raise SimulationLimitError(
-                    message=f"{what} exceeded its cycle budget",
-                    cycles=cycles,
-                    detail=f"max_cycles={self.max_cycles}",
-                )
-            busy = target.step()
-            cycles += 1
-            if (
-                self.progress_callback is not None
-                and cycles % self.progress_interval == 0
-            ):
-                self.progress_callback(cycles)
-        return cycles
+        describe = f"simulation of {name!r}" if name else "simulation"
+        return self._engine_for(target).drive(
+            target,
+            max_cycles=self.max_cycles,
+            describe=describe,
+            detail=getattr(target, "deadlock_report", None),
+            progress_callback=self.progress_callback,
+            progress_interval=self.progress_interval,
+        )
 
     def run_many(
         self,
@@ -97,7 +122,10 @@ class CycleRunner:
 
 
 def run_to_completion(
-    target: Steppable, max_cycles: int = 10_000_000, name: Optional[str] = None
+    target: Steppable,
+    max_cycles: int = DEFAULT_CYCLE_BUDGET,
+    name: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> int:
     """Convenience wrapper around :class:`CycleRunner` for one-off runs."""
-    return CycleRunner(max_cycles=max_cycles).run(target, name=name)
+    return CycleRunner(max_cycles=max_cycles, engine=engine).run(target, name=name)

@@ -22,6 +22,13 @@ The measured quantities follow the paper's definitions (see DESIGN.md §4):
 utilization is ideal compute cycles over kernel cycles (streaming plus any
 explicit pre-passes), and data access counts are scratchpad word accesses
 during the kernel.
+
+:meth:`run` executes a whole kernel through a simulation engine from
+:mod:`repro.engine`: the default event-driven scheduler steps only through
+cycles in which the system can change state and bulk-advances over idle
+spans, while ``engine="lockstep"`` retains the legacy cycle-by-cycle loop.
+Both produce identical results; the system supports the scheduler through
+:attr:`last_step_activity`, :meth:`next_event_cycle` and :meth:`advance`.
 """
 
 from __future__ import annotations
@@ -32,8 +39,9 @@ from ..accelerators.gemm_core import GemmCore
 from ..accelerators.quantizer import Quantizer
 from ..compiler.programs import KernelProgram
 from ..core.streamer import DataMaestro
+from ..engine import DEFAULT_ENGINE, get_engine
 from ..memory.subsystem import MemorySubsystem
-from ..sim.result import SimulationLimitError, SimulationResult
+from ..sim.result import DEFAULT_CYCLE_BUDGET, SimulationResult
 from .design import (
     AcceleratorSystemDesign,
     PORT_NAMES,
@@ -61,6 +69,7 @@ class AcceleratorSystem:
         self._active_ports: List[str] = []
         self._program: Optional[KernelProgram] = None
         self._cycles = 0
+        self.last_step_activity = 0
         self.reset()
 
     # ------------------------------------------------------------------
@@ -86,6 +95,7 @@ class AcceleratorSystem:
         self._active_ports = []
         self._program = None
         self._cycles = 0
+        self.last_step_activity = 0
 
     # ------------------------------------------------------------------
     # Program loading.
@@ -146,54 +156,125 @@ class AcceleratorSystem:
         return all(streamer.done for streamer in self._active_streamers())
 
     def step(self) -> bool:
-        """Advance the whole system by one clock cycle."""
+        """Advance the whole system by one clock cycle.
+
+        Tracks the number of state-changing events the cycle performed in
+        :attr:`last_step_activity` (responses delivered/collected, quantizer
+        and MAC firings, address bundles, requests issued, crossbar grants).
+        A step with zero activity is a fixpoint: nothing can change until a
+        matured memory response arrives — the event engine exploits this.
+        Drained components (``done`` streamers) are skipped outright; their
+        per-cycle methods are provably no-ops.
+        """
         if self._program is None:
             return False
         assert self.memory is not None
-        streamers = self._active_streamers()
+        streamers = [s for s in self._active_streamers() if not s.done]
+        activity = 0
 
         # Phase 1: responses.
         for streamer in streamers:
             streamer.begin_cycle()
-        self.memory.deliver()
+        activity += self.memory.deliver()
         for streamer in streamers:
-            streamer.collect_responses(self.memory)
+            activity += streamer.collect_responses(self.memory)
 
         # Phase 2: accelerators (quantizer first so it drains the previous
         # cycle's tile before the core produces a new one).
-        if self._program.uses_quantizer:
-            self.quantizer.step()
-        self.gemm_core.step()
+        if self._program.uses_quantizer and self.quantizer.step():
+            activity += 1
+        if self.gemm_core.step():
+            activity += 1
 
         # Phase 3: address generation.
         for streamer in streamers:
-            streamer.generate_addresses()
+            if streamer.generate_addresses():
+                activity += 1
 
         # Phase 4: request issue and crossbar arbitration.
         for streamer in streamers:
-            streamer.issue_requests(self.memory)
-        self.memory.step()
+            activity += streamer.issue_requests(self.memory)
+        activity += self.memory.step()
 
         self._cycles += 1
+        self.last_step_activity = activity
         return not self.finished
+
+    # ------------------------------------------------------------------
+    # Next-event protocol (see repro.engine).
+    # ------------------------------------------------------------------
+    def next_event_cycle(self) -> Optional[int]:
+        """Earliest future cycle at which any component can act.
+
+        At a zero-activity fixpoint every streamer, the GeMM core and the
+        quantizer are combinationally blocked, so the only *timed* event
+        source is the memory subsystem's in-flight responses; the component
+        queries are kept for protocol completeness and as a safety net.
+        ``None`` means nothing will ever happen again (deadlock).
+        """
+        if self._program is None:
+            return None
+        assert self.memory is not None
+        now = self._cycles
+        earliest = self.memory.next_event_cycle()
+        for streamer in self._active_streamers():
+            if streamer.done:
+                continue
+            event = streamer.next_event_cycle(now)
+            if event is not None and (earliest is None or event < earliest):
+                earliest = event
+        if self._program.uses_quantizer:
+            event = self.quantizer.next_event_cycle(now)
+            if event is not None and (earliest is None or event < earliest):
+                earliest = event
+        event = self.gemm_core.next_event_cycle(now)
+        if event is not None and (earliest is None or event < earliest):
+            earliest = event
+        return earliest
+
+    def advance(self, cycles: int) -> None:
+        """Bulk-apply ``cycles`` provably inactive cycles.
+
+        Replicates exactly what lockstep stepping across the span would have
+        recorded: the clock moves, and every stalled component accumulates
+        its per-cycle stall counters (GeMM stalls, quantizer stalls,
+        per-channel credit stalls).  No data moves — the caller guarantees
+        the span contains no activity.
+        """
+        if self._program is None or cycles <= 0:
+            return
+        assert self.memory is not None
+        self._cycles += cycles
+        self.memory.advance(cycles)
+        for streamer in self._active_streamers():
+            streamer.advance(cycles)
+        if self._program.uses_quantizer:
+            self.quantizer.advance(cycles)
+        self.gemm_core.advance(cycles)
 
     # ------------------------------------------------------------------
     # Whole-kernel execution.
     # ------------------------------------------------------------------
     def run(
-        self, program: KernelProgram, max_cycles: int = 5_000_000
+        self,
+        program: KernelProgram,
+        max_cycles: int = DEFAULT_CYCLE_BUDGET,
+        engine: str = DEFAULT_ENGINE,
     ) -> SimulationResult:
-        """Execute a compiled kernel and return its simulation result."""
+        """Execute a compiled kernel and return its simulation result.
+
+        ``engine`` selects the simulation loop: ``"event"`` (the default
+        next-event scheduler) or ``"lockstep"`` (the legacy per-cycle loop).
+        Both produce identical results; see ``docs/ENGINE.md``.
+        """
         self.load_program(program)
         assert self.memory is not None and self.dma is not None
-        while not self.finished:
-            if self._cycles >= max_cycles:
-                raise SimulationLimitError(
-                    message=f"kernel {program.name!r} exceeded its cycle budget",
-                    cycles=self._cycles,
-                    detail=self._deadlock_report(),
-                )
-            self.step()
+        get_engine(engine).drive(
+            self,
+            max_cycles=max_cycles,
+            describe=f"kernel {program.name!r}",
+            detail=self.deadlock_report,
+        )
 
         streamer_stats = {
             port: self.streamers[port].statistics(self.memory)
@@ -231,12 +312,13 @@ class AcceleratorSystem:
                     program.job.tiles_k,
                 ),
                 "active_ports": list(self._active_ports),
+                "engine": engine,
             },
         )
         return result
 
     # ------------------------------------------------------------------
-    def _deadlock_report(self) -> str:
+    def deadlock_report(self) -> str:
         """Short description of what is still pending (for error messages)."""
         parts = [f"core tiles done={self.gemm_core.statistics()['tiles_completed']}"]
         for port in self._active_ports:
@@ -247,6 +329,9 @@ class AcceleratorSystem:
                 f"words={streamer.words_streamed} busy={streamer.busy}"
             )
         return "; ".join(parts)
+
+    #: Backwards-compatible alias (pre-engine name).
+    _deadlock_report = deadlock_report
 
     def verify_outputs(self, result: SimulationResult) -> bool:
         """Compare the simulated outputs against the program's numpy oracle."""
