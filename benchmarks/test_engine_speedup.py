@@ -1,20 +1,28 @@
-"""Engine benchmark: event-driven vs lockstep wall-time on two kernel classes.
+"""Engine benchmark: lockstep vs event-driven vs macro-stepped wall time.
 
-Measures both simulation engines on
+Measures the simulation engines on
 
 * a **bandwidth-bound** kernel — the prefetch-disabled ablation baseline on a
   32-cycle-latency memory, i.e. the configuration where the accelerator pays
   the full memory round trip for every word and most cycles are idle waits
-  the event engine can skip; and
+  the next-event scheduler can skip; and
 * a **compute-bound** kernel — the default evaluation system running a dense
-  64x64x64 GeMM at >99 % utilization, where a MAC fires almost every cycle
-  and there is nothing to skip.
+  64x64x64 GeMM at >99 % utilization.  Nothing is idle here, so the
+  next-event scheduler alone cannot help (PR 3 measured ~1.00x); the
+  steady-span macro-step fast path must instead bulk-replay whole periodic
+  tile groups.  This kernel is timed on three variants: ``lockstep``,
+  ``event_nomacro`` (the event engine with macro-stepping disabled — PR 3's
+  behaviour) and ``event`` (macro-stepping on, the default).
 
-The acceptance bar: the event engine must be at least ``2x`` faster on the
-bandwidth-bound kernel and within ``10 %`` of lockstep on the compute-bound
-kernel, with *identical* cycle counts on both.  Results (wall-times,
-simulated cycles/second, speedups) are written to ``BENCH_engine.json`` at
-the repository root so the performance trajectory is tracked over time.
+The acceptance bars: the event engine must be at least ``2x`` faster on the
+bandwidth-bound kernel, and on the compute-bound kernel the macro-stepped
+event engine must be at least ``2x`` faster than the PR 3 event engine
+(``event_nomacro``), with *identical* cycle counts everywhere.  Results
+(wall-times, simulated cycles/second, speedups) are written to
+``BENCH_engine.json`` at the repository root so the performance trajectory
+is tracked over time; the compute-bound entry's ``speedup`` field is the
+macro-vs-lockstep ratio and ``speedup_vs_event_nomacro`` is the
+macro-vs-PR-3 ratio the acceptance bar applies to.
 """
 
 import dataclasses
@@ -28,6 +36,7 @@ import pytest
 from repro import __version__
 from repro.compiler import compile_workload
 from repro.core.params import FeatureSet
+from repro.engine import EventDrivenEngine
 from repro.system import AcceleratorSystem, datamaestro_evaluation_system
 from repro.workloads import GemmWorkload
 
@@ -39,16 +48,16 @@ BENCH_PATH = BENCH_OUT_DIR / "BENCH_engine.json"
 #: is recorded, so scheduler noise and thermal drift hit both equally.
 ROUNDS = 5
 
-#: Required speedup on the bandwidth-bound kernel.
+#: Required speedup on the bandwidth-bound kernel (event vs lockstep).
 MIN_BANDWIDTH_SPEEDUP = 2.0
-#: Maximum allowed slowdown on the compute-bound kernel.  The default bar is
-#: the CI gate ("a >2x slowdown fails the build") so a timer hiccup on a
-#: loaded or shared machine cannot fail a build with no code change; set
-#: ``REPRO_STRICT_BENCH=1`` on a quiet machine to enforce the tight
-#: "within 10 %" acceptance bound (measured: ~1.00x, see BENCH_engine.json,
+#: Required macro-stepping speedup on the compute-bound kernel (event vs
+#: the PR 3 event engine).  The default bar is the CI gate — loose enough
+#: that a timer hiccup on a loaded machine cannot fail a build with no code
+#: change; set ``REPRO_STRICT_BENCH=1`` on a quiet machine to enforce the
+#: tight ">=2x" acceptance bound (measured: >3x, see BENCH_engine.json,
 #: where the actual ratio is always recorded regardless of the bar).
 STRICT_BENCH = os.environ.get("REPRO_STRICT_BENCH", "0") not in ("0", "", "false")
-MAX_COMPUTE_SLOWDOWN = 1.10 if STRICT_BENCH else 2.0
+MIN_COMPUTE_SPEEDUP = 2.0 if STRICT_BENCH else 1.3
 
 
 def _bandwidth_bound():
@@ -66,44 +75,51 @@ def _compute_bound():
     return workload, design, FeatureSet.all_enabled()
 
 
-def _timed_run(program, design, engine):
+def _engine_for(variant):
+    if variant == "event_nomacro":
+        return EventDrivenEngine(macro_stepping=False)
+    return variant
+
+
+def _timed_run(program, design, variant):
     system = AcceleratorSystem(design)
+    engine = _engine_for(variant)
     start = time.perf_counter()
     result = system.run(program, engine=engine)
     return time.perf_counter() - start, result.streaming_cycles
 
 
-def _run_kernel(label, builder):
-    """Measure both engines, interleaved round by round; keep the best of N."""
+def _run_kernel(label, builder, variants):
+    """Measure every variant, interleaved round by round; keep the best of N."""
     workload, design, features = builder()
     program = compile_workload(workload, design, features)
-    best = {"lockstep": float("inf"), "event": float("inf")}
+    best = {variant: float("inf") for variant in variants}
     cycles = {}
     _timed_run(program, design, "event")  # warm-up (imports, allocator)
     for _ in range(ROUNDS):
-        for engine in ("lockstep", "event"):
-            elapsed, simulated = _timed_run(program, design, engine)
-            best[engine] = min(best[engine], elapsed)
-            cycles[engine] = simulated
-    lockstep = {
-        "seconds": best["lockstep"],
-        "cycles": cycles["lockstep"],
-        "cycles_per_second": cycles["lockstep"] / best["lockstep"],
-    }
-    event = {
-        "seconds": best["event"],
-        "cycles": cycles["event"],
-        "cycles_per_second": cycles["event"] / best["event"],
-    }
-    assert lockstep["cycles"] == event["cycles"], "engines diverged on cycle count"
-    return {
+        for variant in variants:
+            elapsed, simulated = _timed_run(program, design, variant)
+            best[variant] = min(best[variant], elapsed)
+            cycles[variant] = simulated
+    reference = cycles[variants[0]]
+    assert all(count == reference for count in cycles.values()), (
+        "engines diverged on cycle count"
+    )
+    entry = {
         "kernel": workload.name,
         "class": label,
-        "simulated_cycles": event["cycles"],
-        "lockstep": lockstep,
-        "event": event,
-        "speedup": lockstep["seconds"] / event["seconds"],
+        "simulated_cycles": reference,
     }
+    for variant in variants:
+        entry[variant] = {
+            "seconds": best[variant],
+            "cycles": cycles[variant],
+            "cycles_per_second": cycles[variant] / best[variant],
+        }
+    entry["speedup"] = best["lockstep"] / best["event"]
+    if "event_nomacro" in variants:
+        entry["speedup_vs_event_nomacro"] = best["event_nomacro"] / best["event"]
+    return entry
 
 
 @pytest.fixture(scope="module")
@@ -111,8 +127,14 @@ def bench_results():
     results = {
         "package_version": __version__,
         "rounds": ROUNDS,
-        "bandwidth_bound": _run_kernel("bandwidth_bound", _bandwidth_bound),
-        "compute_bound": _run_kernel("compute_bound", _compute_bound),
+        "bandwidth_bound": _run_kernel(
+            "bandwidth_bound", _bandwidth_bound, ("lockstep", "event")
+        ),
+        "compute_bound": _run_kernel(
+            "compute_bound",
+            _compute_bound,
+            ("lockstep", "event_nomacro", "event"),
+        ),
     }
     BENCH_OUT_DIR.mkdir(parents=True, exist_ok=True)
     BENCH_PATH.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
@@ -128,13 +150,23 @@ def test_bandwidth_bound_speedup(bench_results):
     )
 
 
-def test_compute_bound_no_regression(bench_results):
-    """Fully active kernels must not pay for the event machinery."""
+def test_compute_bound_macro_speedup(bench_results):
+    """Macro-stepping must beat PR 3's event engine on dense kernels."""
     entry = bench_results["compute_bound"]
-    slowdown = entry["event"]["seconds"] / entry["lockstep"]["seconds"]
-    assert slowdown <= MAX_COMPUTE_SLOWDOWN, (
-        f"event engine is {slowdown:.2f}x slower on the compute-bound kernel "
-        f"(allowed: {MAX_COMPUTE_SLOWDOWN}x)"
+    ratio = entry["speedup_vs_event_nomacro"]
+    assert ratio >= MIN_COMPUTE_SPEEDUP, (
+        f"macro-stepped event engine only {ratio:.2f}x faster than the "
+        f"plain event engine on the compute-bound kernel "
+        f"(required: {MIN_COMPUTE_SPEEDUP}x)"
+    )
+
+
+def test_compute_bound_beats_lockstep(bench_results):
+    """The same bar holds against lockstep (PR 3 event ~= lockstep here)."""
+    entry = bench_results["compute_bound"]
+    assert entry["speedup"] >= MIN_COMPUTE_SPEEDUP, (
+        f"event engine only {entry['speedup']:.2f}x faster than lockstep "
+        f"on the compute-bound kernel (required: {MIN_COMPUTE_SPEEDUP}x)"
     )
 
 
@@ -142,3 +174,4 @@ def test_bench_report_written(bench_results):
     data = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
     assert data["bandwidth_bound"]["speedup"] == bench_results["bandwidth_bound"]["speedup"]
     assert data["compute_bound"]["simulated_cycles"] > 0
+    assert "event_nomacro" in data["compute_bound"]

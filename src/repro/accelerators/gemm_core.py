@@ -194,6 +194,48 @@ class GemmCore:
         if self.busy:
             self.stall_cycles += cycles
 
+    def compute_tiles_batch(
+        self,
+        count: int,
+        a_words: np.ndarray,
+        b_words: np.ndarray,
+        c_words: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Pure batched datapath: ``count`` whole output tiles in one einsum.
+
+        ``a_words``/``b_words`` are ``(count * tiles_k, word_bytes)`` uint8
+        batches of the operand words the core would pop cycle by cycle;
+        ``c_words`` is the ``(count, acc_word_bytes)`` init-stream batch (or
+        ``None`` for zero initialisation).  Returns the ``(count,
+        acc_word_bytes)`` byte images the core would push to its sink —
+        bit-identical to ``count * tiles_k`` sequential MAC steps, because
+        int32 accumulation is associative even under wraparound.  Counters
+        and indices are *not* touched; the macro-step replayer owns those.
+        """
+        assert self.job is not None
+        k = self.job.tiles_k
+        a_tiles = (
+            np.ascontiguousarray(a_words, dtype=np.uint8)
+            .view(np.int8)
+            .reshape(count, k, self.mu, self.ku)
+            .astype(np.int32)
+        )
+        b_tiles = (
+            np.ascontiguousarray(b_words, dtype=np.uint8)
+            .view(np.int8)
+            .reshape(count, k, self.ku, self.nu)
+            .astype(np.int32)
+        )
+        acc = np.einsum("tkij,tkjl->til", a_tiles, b_tiles, dtype=np.int32)
+        if c_words is not None:
+            acc = acc + (
+                np.ascontiguousarray(c_words, dtype=np.uint8)
+                .view(np.int32)
+                .reshape(count, self.mu, self.nu)
+            )
+        acc = np.ascontiguousarray(acc, dtype=np.int32)
+        return acc.view(np.uint8).reshape(count, -1)
+
     def step(self) -> bool:
         """Advance one cycle; return True if a MAC step fired."""
         if self.job is None or self.done:

@@ -43,16 +43,33 @@ class QuantizationConfig:
 
 
 def rescale_tile(tile: np.ndarray, config: QuantizationConfig) -> np.ndarray:
-    """Requantize an int32 tile to int8 (rounding, zero point, saturation)."""
-    accumulator = tile.astype(np.int64)
+    """Requantize an int32 tile to int8 (rounding, zero point, saturation).
+
+    Delegates to :func:`rescale_tile_batch` so the per-cycle quantizer and
+    the macro-step fast path share one arithmetic implementation — the bit
+    parity between them can never drift.
+    """
+    return rescale_tile_batch(tile[np.newaxis, :, :], config)[0]
+
+
+def rescale_tile_batch(
+    tiles: np.ndarray, config: QuantizationConfig
+) -> np.ndarray:
+    """Requantize a ``(n, rows, cols)`` int32 tile stack in one pass.
+
+    The single arithmetic implementation behind both :func:`rescale_tile`
+    (per-cycle quantizer) and the macro-step fast path, which rescales a
+    whole span's tiles at once.
+    """
+    accumulator = tiles.astype(np.int64)
     multiplier = np.asarray(config.multiplier, dtype=np.int64)
     if multiplier.ndim == 1:
-        if multiplier.size != tile.shape[1]:
+        if multiplier.size != tiles.shape[2]:
             raise ValueError(
                 f"per-channel multiplier has {multiplier.size} entries, "
-                f"tile has {tile.shape[1]} output channels"
+                f"tile has {tiles.shape[2]} output channels"
             )
-        scaled = accumulator * multiplier[np.newaxis, :]
+        scaled = accumulator * multiplier[np.newaxis, np.newaxis, :]
     else:
         scaled = accumulator * multiplier
     if config.shift > 0:

@@ -494,6 +494,12 @@ def cmd_explore(args: argparse.Namespace) -> int:
         f"{report_data.cache_hits} cache hits, "
         f"{report_data.replayed_from_journal} replayed from journal"
     )
+    if report_data.proposal_shortfall:
+        print(
+            f"note: budget under-spent — the strategy came up "
+            f"{report_data.proposal_shortfall} proposal(s) short (space "
+            f"smaller than the budget, or draws exhausted)"
+        )
     if args.json:
         report_data.to_json(args.json)
         print(f"wrote JSON report to {args.json}")
@@ -522,7 +528,35 @@ def cmd_selftest(args: argparse.Namespace) -> int:
         ("utilization in (0, 1]", 0.0 < outcome.utilization <= 1.0),
         ("second run served from cache", warm.stats.executed == 0 and cached.cache_hit),
         ("cached outcome identical", cached.as_dict() == {**outcome.as_dict(), "cache_hit": True}),
+        ("cache counters consistent", cold.stats.cache_misses == 1 and warm.stats.cache_hits == 1),
     ]
+    steady_line = ""
+    if engine == "event":
+        # Exercise the steady-span macro-step fast path on a kernel dense
+        # enough to reach a periodic steady state, against lockstep truth.
+        from .compiler import compile_workload
+        from .system import AcceleratorSystem, datamaestro_evaluation_system
+
+        design = datamaestro_evaluation_system()
+        dense = GemmWorkload(name="selftest_dense", m=64, n=64, k=64)
+        program = compile_workload(dense, design, FeatureSet.all_enabled())
+        fast = AcceleratorSystem(design)
+        fast_result = fast.run(program, engine="event")
+        slow_result = AcceleratorSystem(design).run(program, engine="lockstep")
+        steady = fast.steady_stats()
+        checks.append(("macro fast path engaged", steady.get("jumps", 0) >= 1))
+        checks.append(
+            (
+                "macro fast path bit-identical to lockstep",
+                fast_result.streaming_cycles == slow_result.streaming_cycles
+                and fast_result.bank_conflicts == slow_result.bank_conflicts,
+            )
+        )
+        steady_line = (
+            f", macro-stepped {steady.get('cycles_skipped', 0)}/"
+            f"{fast_result.streaming_cycles} dense cycles in "
+            f"{steady.get('jumps', 0)} jump(s)"
+        )
     failed = [label for label, ok in checks if not ok]
     for label, ok in checks:
         print(f"  [{'ok' if ok else 'FAIL'}] {label}")
@@ -531,7 +565,8 @@ def cmd_selftest(args: argparse.Namespace) -> int:
         return 1
     print(
         f"selftest ok: {workload.name} at {outcome.utilization:.2%} utilization, "
-        f"{outcome.kernel_cycles} cycles, engine {engine} (cache: {cache_dir})"
+        f"{outcome.kernel_cycles} cycles, engine {engine}"
+        f"{steady_line} (cache: {cache_dir})"
     )
     return 0
 

@@ -106,6 +106,63 @@ class TemporalAddressGenerator:
         self._exhausted = True
 
 
+    # ------------------------------------------------------------------
+    # Batch evaluation / fast-forward (macro-step fast path, repro.engine).
+    # ------------------------------------------------------------------
+    def address_batch(self, start_step: int, count: int):
+        """Temporal addresses for flat steps ``[start_step, start_step+count)``.
+
+        Vectorized (numpy) mixed-radix evaluation of the nested loops; the
+        result is bit-identical to stepping the dual counters ``count``
+        times.  Steps beyond :attr:`total_iterations` are not representable
+        and raise ``ValueError``.
+        """
+        import numpy as np
+
+        if start_step < 0 or start_step + count > self.total_iterations:
+            raise ValueError(
+                f"step window [{start_step}, {start_step + count}) outside "
+                f"[0, {self.total_iterations})"
+            )
+        steps = np.arange(start_step, start_step + count, dtype=np.int64)
+        addresses = np.full(count, self.base_address, dtype=np.int64)
+        radix = 1
+        for bound, stride in zip(self.bounds, self.strides):
+            addresses += (steps // radix) % bound * stride
+            radix *= bound
+        return addresses
+
+    def fast_forward(self, steps: int) -> None:
+        """Jump ``steps`` iterations ahead, exactly as ``steps`` advances.
+
+        Leaves the dual counters (and :attr:`exhausted`) in the same state a
+        loop of :meth:`advance` calls would: on full exhaustion every
+        counter reads zero, mirroring the final ripple-carry overflow.
+        """
+        if steps < 0:
+            raise ValueError("cannot fast-forward a negative number of steps")
+        if steps == 0:
+            return
+        target = self._steps_generated + steps
+        if self._exhausted or target > self.total_iterations:
+            raise RuntimeError(
+                f"fast_forward({steps}) overruns the temporal loop nest "
+                f"({self._steps_generated}/{self.total_iterations})"
+            )
+        self._steps_generated = target
+        if target == self.total_iterations:
+            self._indices = [0] * len(self.bounds)
+            self._offsets = [0] * len(self.bounds)
+            self._exhausted = True
+            return
+        remainder = target
+        for dim, bound in enumerate(self.bounds):
+            index = remainder % bound
+            remainder //= bound
+            self._indices[dim] = index
+            self._offsets[dim] = index * self.strides[dim]
+
+
 class SpatialAddressGenerator:
     """Spatial AGU: expands one temporal address into per-channel addresses."""
 
@@ -211,6 +268,29 @@ class AddressGenerationUnit:
         """Generate every remaining bundle (used by tests and pre-passes)."""
         while not self.temporal.exhausted:
             yield self.next_bundle(active_channels)
+
+    # ------------------------------------------------------------------
+    # Batch evaluation / fast-forward (macro-step fast path, repro.engine).
+    # ------------------------------------------------------------------
+    def address_matrix(self, start_step: int, count: int, active_channels: int = 0):
+        """Per-channel addresses for bundle steps ``[start, start+count)``.
+
+        Returns an ``int64`` array of shape ``(count, channels)`` whose row
+        ``i`` equals ``next_bundle(active_channels).addresses`` for step
+        ``start_step + i`` — the vectorized counterpart of the per-cycle
+        bundle stream the macro-step planner evaluates en bloc.
+        """
+        import numpy as np
+
+        temporal = self.temporal.address_batch(start_step, count)
+        offsets = self.spatial.offsets
+        if active_channels not in (0, self.spatial.num_points):
+            offsets = offsets[:active_channels]
+        return temporal[:, None] + np.asarray(offsets, dtype=np.int64)[None, :]
+
+    def fast_forward(self, steps: int) -> None:
+        """Advance the temporal loop nest by ``steps`` bundles at once."""
+        self.temporal.fast_forward(steps)
 
 
 # ----------------------------------------------------------------------

@@ -67,6 +67,27 @@ class DatapathExtension:
         """Transform one wide word; subclasses override."""
         return word
 
+    def apply_batch(self, words: np.ndarray) -> np.ndarray:
+        """Run the extension on a ``(n, width)`` batch of wide words.
+
+        Counter semantics are identical to ``n`` calls to :meth:`apply`;
+        the macro-step fast path uses this to transform whole word spans in
+        one numpy operation.
+        """
+        count = len(words)
+        if not self.enabled:
+            self.words_bypassed += count
+            return words
+        self.words_processed += count
+        return self.process_batch(words)
+
+    def process_batch(self, words: np.ndarray) -> np.ndarray:
+        """Batched :meth:`process`; the fallback applies it row by row, so
+        user-defined extensions stay exact without a vectorized override."""
+        if type(self).process is DatapathExtension.process:
+            return words
+        return np.stack([self.process(word) for word in words])
+
     def expansion_factor(self) -> int:
         """Output-bytes / input-bytes ratio when enabled (1 for most)."""
         return 1
@@ -104,6 +125,21 @@ class Transposer(DatapathExtension):
         tile = word.reshape(rows, cols, element_bytes)
         return np.ascontiguousarray(tile.transpose(1, 0, 2)).reshape(-1)
 
+    def process_batch(self, words: np.ndarray) -> np.ndarray:
+        rows = int(self.params["rows"])
+        cols = int(self.params["cols"])
+        element_bytes = int(self.params["element_bytes"])
+        expected = rows * cols * element_bytes
+        if words.shape[1] != expected:
+            raise ValueError(
+                f"transposer expected {expected} bytes "
+                f"({rows}x{cols}x{element_bytes}), got {words.shape[1]}"
+            )
+        tiles = words.reshape(len(words), rows, cols, element_bytes)
+        return np.ascontiguousarray(tiles.transpose(0, 2, 1, 3)).reshape(
+            len(words), -1
+        )
+
 
 class Broadcaster(DatapathExtension):
     """Duplicate a narrow fetch across channels.
@@ -129,6 +165,12 @@ class Broadcaster(DatapathExtension):
         if factor == 1:
             return word
         return np.tile(word, factor)
+
+    def process_batch(self, words: np.ndarray) -> np.ndarray:
+        factor = int(self.params["factor"])
+        if factor == 1:
+            return words
+        return np.tile(words, (1, factor))
 
     def expansion_factor(self) -> int:
         return int(self.params["factor"]) if self.enabled else 1
@@ -216,6 +258,15 @@ class ExtensionPipeline:
         for extension in self.stages:
             word = extension.apply(word)
         return word
+
+    def apply_batch(self, words: np.ndarray) -> np.ndarray:
+        """Run the cascade on a ``(n, width)`` word batch at once.
+
+        Stage counters advance exactly as ``n`` :meth:`apply` calls would.
+        """
+        for extension in self.stages:
+            words = extension.apply_batch(words)
+        return words
 
     def expansion_factor(self) -> int:
         """Combined output/input byte ratio of all enabled stages."""

@@ -96,6 +96,19 @@ class AddressRemapper:
         """Translate a logical byte address under the selected mode."""
         return decode_address(address, self.geometry, self.selected_group_size)
 
+    def decode_batch(self, addresses):
+        """Vectorized :meth:`decode` over an address array.
+
+        Returns ``(banks, lines, byte_offsets)`` int64 arrays shaped like
+        ``addresses`` (macro-step fast path — one numpy evaluation instead
+        of one :class:`BankLocation` per address).
+        """
+        from ..memory.addressing import decode_address_batch
+
+        return decode_address_batch(
+            addresses, self.geometry, self.selected_group_size
+        )
+
     def decode_with_group_size(self, address: int, group_size: int) -> BankLocation:
         """Translate under an explicit group size (compiler/DMA use)."""
         return decode_address(address, self.geometry, group_size)

@@ -3,10 +3,12 @@
 ``repro.engine`` owns the loops that drive cycle-level models to completion.
 The default, the **event-driven** engine, advances time directly to the next
 cycle in which anything can happen instead of stepping every component every
-cycle; the **lockstep** engine is the legacy per-cycle loop, retained as the
-parity reference.  Both produce bit-identical results — identical cycle
-counts, bank-conflict counts, per-streamer statistics and output tensors —
-see ``docs/ENGINE.md``.
+cycle, and — for targets implementing the macro protocol — bulk-advances
+*active* steady-state spans via the vectorized replayer in
+:mod:`repro.engine.steady`; the **lockstep** engine is the legacy per-cycle
+loop, retained as the parity reference.  All paths produce bit-identical
+results — identical cycle counts, bank-conflict counts, per-streamer
+statistics and output tensors — see ``docs/ENGINE.md``.
 
 Select an engine wherever simulations are launched::
 
@@ -24,10 +26,12 @@ from .base import (
     available_engines,
     get_engine,
     supports_event_protocol,
+    supports_macro_protocol,
     validate_engine,
 )
 from .event import EventDrivenEngine
 from .lockstep import LockstepEngine
+from .steady import SteadySpanPlanner, SteadySpanStats
 
 __all__ = [
     "DEFAULT_ENGINE",
@@ -37,8 +41,11 @@ __all__ = [
     "SimulationEngine",
     "EventDrivenEngine",
     "LockstepEngine",
+    "SteadySpanPlanner",
+    "SteadySpanStats",
     "available_engines",
     "get_engine",
     "supports_event_protocol",
+    "supports_macro_protocol",
     "validate_engine",
 ]

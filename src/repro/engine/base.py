@@ -64,6 +64,20 @@ def supports_event_protocol(target: object) -> bool:
     )
 
 
+def supports_macro_protocol(target: object) -> bool:
+    """Whether ``target`` can bulk-advance *active* steady-state spans.
+
+    The macro protocol extends :class:`EventDriven` with ``steady_span(limit)
+    -> int`` (cycles the target can macro-step right now; non-zero stages a
+    plan) and ``advance_active(n)`` (commit that plan).  See
+    :mod:`repro.engine.steady` for the contract.
+    """
+    return (
+        callable(getattr(target, "steady_span", None))
+        and callable(getattr(target, "advance_active", None))
+    )
+
+
 class SimulationEngine:
     """Interface every engine implements."""
 

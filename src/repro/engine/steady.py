@@ -1,0 +1,850 @@
+"""Macro-stepping of *active* steady-state spans (vectorized fast path).
+
+PR 3's event scheduler can only skip cycles in which **nothing** happens.
+Compute-bound kernels never present such cycles: once the pipeline fills,
+every cycle fires the GeMM core, streams operand words and issues memory
+requests — yet the behaviour is *periodic*: each output tile repeats the
+same control schedule, only the addresses (and the data) advance.  This
+module exploits that periodicity to advance many whole tiles at once while
+staying bit-identical to the lockstep engine:
+
+1. **Detect** — at every completed-tile boundary the planner captures a
+   structural *signature* (FIFO occupancies, outstanding/pending/in-flight
+   shapes with relative timings, the crossbar's rotating-priority state) and
+   a flat *counter snapshot*.  When the current boundary's signature equals
+   the one ``g`` tiles back (``g`` rising from 1 — some schedules only
+   repeat every few tiles), the ``g``-tile stretch that just executed is a
+   proven steady period and its counter diff is the per-period delta.
+
+2. **Verify** — identical structure only implies identical behaviour if the
+   upcoming address stream hits the same banks in the same schedule.  The
+   planner evaluates every streamer's future address span *en bloc* (one
+   vectorized mixed-radix AGU evaluation + one vectorized bank decode) and
+   keeps the longest prefix of periods whose bank pattern tiles the
+   reference period exactly.  A bank conflict that breaks the steady state
+   mid-span therefore truncates the jump right before the deviating period
+   — the per-cycle loop then handles the conflict exactly.  Span reads and
+   writes must also touch disjoint scratchpad locations (and writes must be
+   unique) so bulk data movement is order-independent.
+
+3. **Replay** — ``r`` verified periods are applied at once: every scalar
+   counter advances by ``r x`` its per-period delta, the scratchpad is read
+   with one gather and written with one scatter per bank, all MAC steps of
+   all tiles collapse into a single ``einsum``, and every queue entry
+   (address FIFOs, data FIFOs, pending/in-flight memory traffic) is rebuilt
+   as its position-shifted image ``r`` periods later.  Because integer
+   accumulation is associative and the control schedule is proven to
+   repeat, the result is exactly the state the per-cycle loop would have
+   reached — the ``tests/engine`` parity suite is the referee.
+
+Any precondition failure simply bails (nothing is mutated), so workloads
+that never reach a steady state run exactly as before.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.channel import ChannelAddress
+from ..memory.addressing import BankLocation
+from ..memory.subsystem import MemoryRequest, MemoryResponse
+
+#: Fewest verified periods worth jumping over (amortizes plan/replay cost).
+MIN_PERIODS = 2
+#: Most periods replayed per jump (bounds the planner's address matrices;
+#: consecutive jumps chain, so this does not cap the total span).
+MAX_PERIODS = 4096
+#: Largest boundary group considered as one period.  A steady schedule may
+#: only repeat every g tiles (e.g. an operand stride that shifts the bank
+#: pattern by half a bank group each tile tiles with g == 2), so the planner
+#: pairs the current boundary with the one ``g`` tiles back for rising
+#: ``g`` until signature and bank pattern both repeat.
+MAX_GROUP = 16
+
+#: Memory counter names mirrored through the snapshot/delta machinery.
+_MEM_COUNTER_KEYS = (
+    "bank_conflicts",
+    "word_reads",
+    "word_writes",
+    "dma_word_reads",
+    "dma_word_writes",
+)
+
+
+class _Bail(Exception):
+    """A steady-span precondition failed; fall back to per-cycle stepping."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass
+class SteadySpanStats:
+    """Observability counters of the macro-step fast path."""
+
+    boundaries: int = 0
+    attempts: int = 0
+    jumps: int = 0
+    periods_replayed: int = 0
+    cycles_skipped: int = 0
+    bails: Dict[str, int] = field(default_factory=dict)
+
+    def bail(self, reason: str) -> None:
+        self.bails[reason] = self.bails.get(reason, 0) + 1
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "boundaries": self.boundaries,
+            "attempts": self.attempts,
+            "jumps": self.jumps,
+            "periods_replayed": self.periods_replayed,
+            "cycles_skipped": self.cycles_skipped,
+            "bails": dict(self.bails),
+        }
+
+
+@dataclass
+class _ChannelSpan:
+    """Everything the replayer needs about one active stream channel."""
+
+    channel: object
+    column: int  # column in the streamer's address matrix
+    granted: int
+    issued: int
+    collected: int
+    words: int  # popped (read) / pushed (write) wide-word position
+
+
+@dataclass
+class _StreamSpan:
+    """Per-streamer planning state over the span."""
+
+    streamer: object
+    port: str
+    is_read: bool
+    delta: int  # positions per channel per period
+    generated: int  # bundles generated at the boundary
+    lo: int  # first bundle step covered by the matrix
+    matrix: np.ndarray  # (steps, channels) logical addresses
+    banks: np.ndarray
+    lines: np.ndarray
+    offsets: np.ndarray
+    channels: List[_ChannelSpan]
+
+
+@dataclass
+class _Plan:
+    """A verified steady span, ready to commit."""
+
+    periods: int
+    cycles: int
+    end_cycle: int
+    delta: np.ndarray
+    streams: List[_StreamSpan]
+    tiles: int  # output tiles produced across the span (periods x group)
+
+
+class SteadySpanPlanner:
+    """Detects, verifies and replays periodic steady-state spans.
+
+    One planner instance is bound to one loaded
+    :class:`~repro.system.system.AcceleratorSystem` program (the system
+    creates a fresh planner in ``load_program``).
+    """
+
+    def __init__(self, system) -> None:
+        self.system = system
+        self.stats = SteadySpanStats()
+        self._slots: Optional[List[Tuple[str, Callable, Callable]]] = None
+        self._index: Dict[str, int] = {}
+        self._plan: Optional[_Plan] = None
+        #: Rolling (cycle, signature, snapshot) records of recent boundaries.
+        self._history: deque = deque(maxlen=MAX_GROUP + 1)
+        #: Group sizes whose bank pattern failed to tile (retired until the
+        #: next successful jump — the failure is usually persistent).
+        self._skip_groups: set = set()
+
+    # ------------------------------------------------------------------
+    # Counter snapshot layout: one (name, getter, setter) triple per scalar
+    # counter that must advance by r x its per-period delta on a jump.
+    # ------------------------------------------------------------------
+    def _build_slots(self) -> None:
+        sys = self.system
+        mem = sys.memory
+        slots: List[Tuple[str, Callable, Callable]] = []
+
+        def attr(name: str, obj: object, attribute: str) -> None:
+            slots.append(
+                (
+                    name,
+                    lambda o=obj, a=attribute: getattr(o, a),
+                    lambda v, o=obj, a=attribute: setattr(o, a, int(v)),
+                )
+            )
+
+        attr("system.cycles", sys, "_cycles")
+        attr("memory.cycle", mem, "cycle")
+        for key in _MEM_COUNTER_KEYS:
+            slots.append(
+                (
+                    f"memory.{key}",
+                    lambda c=mem.counters, k=key: c.get(k),
+                    lambda v, c=mem.counters, k=key: c.set(k, int(v)),
+                )
+            )
+        for bank in mem.scratchpad.banks:
+            attr(f"bank{bank.index}.reads", bank, "read_count")
+            attr(f"bank{bank.index}.writes", bank, "write_count")
+        gemm = sys.gemm_core
+        attr("gemm.mac", gemm, "mac_cycles")
+        attr("gemm.stall", gemm, "stall_cycles")
+        attr("gemm.tile", gemm, "_tile_index")
+        quantizer = sys.quantizer
+        attr("quant.tiles", quantizer, "tiles_processed")
+        attr("quant.stall", quantizer, "stall_cycles")
+        attr("quant.pushes", quantizer._pending, "total_pushes")
+        attr("quant.pops", quantizer._pending, "total_pops")
+        for port in sys._active_ports:
+            streamer = sys.streamers[port]
+            attr(f"{port}.words", streamer, "words_streamed")
+            attr(f"{port}.bundles", streamer, "bundles_generated")
+            for channel in streamer._active():
+                rid = channel.requester_id
+                state = mem._state(rid)
+                attr(f"{rid}.issued", channel, "requests_issued")
+                attr(f"{rid}.collected", channel, "responses_received")
+                attr(f"{rid}.credit_stalls", channel, "credit_stall_cycles")
+                attr(f"{rid}.addr_pushes", channel.address_fifo, "total_pushes")
+                attr(f"{rid}.addr_pops", channel.address_fifo, "total_pops")
+                attr(f"{rid}.data_pushes", channel.data_fifo, "total_pushes")
+                attr(f"{rid}.data_pops", channel.data_fifo, "total_pops")
+                attr(f"{rid}.granted", state, "granted")
+                attr(f"{rid}.retries", state, "retries")
+        self._slots = slots
+        self._index = {name: i for i, (name, _, _) in enumerate(slots)}
+
+    def _capture(self) -> np.ndarray:
+        assert self._slots is not None
+        return np.fromiter(
+            (get() for _, get, _ in self._slots),
+            dtype=np.int64,
+            count=len(self._slots),
+        )
+
+    def _apply_delta(self, delta: np.ndarray, periods: int) -> None:
+        assert self._slots is not None
+        for (name, get, set_), step in zip(self._slots, delta.tolist()):
+            if step:
+                set_(get() + step * periods)
+
+    # ------------------------------------------------------------------
+    # Structural signature: everything behaviour-relevant except the
+    # monotone stream positions and the data itself.
+    # ------------------------------------------------------------------
+    def _signature(self) -> tuple:
+        sys = self.system
+        mem = sys.memory
+        now = sys._cycles
+        parts: List[object] = [
+            sys.gemm_core._k_index,
+            sys.quantizer._pending.occupancy,
+        ]
+        for port in sys._active_ports:
+            streamer = sys.streamers[port]
+            parts.append((port, streamer._popped_this_cycle))
+            for channel in streamer._active():
+                state = mem._requesters.get(channel.requester_id)
+                pending = len(state.pending) if state else 0
+                responses = (
+                    tuple(r.ready_cycle - now for r in state.responses)
+                    if state
+                    else ()
+                )
+                parts.append(
+                    (
+                        channel.address_fifo.occupancy,
+                        channel.data_fifo.occupancy,
+                        channel.outstanding,
+                        pending,
+                        responses,
+                    )
+                )
+        parts.append(tuple(sorted(mem._last_grant.items())))
+        parts.append(
+            tuple((r.requester, r.ready_cycle - now) for r in mem._in_flight)
+        )
+        return tuple(parts)
+
+    # ------------------------------------------------------------------
+    # Boundary handling (called by AcceleratorSystem.steady_span).
+    # ------------------------------------------------------------------
+    def boundary(self, limit: int) -> int:
+        """Record a completed-tile boundary; return a committed span size.
+
+        A non-zero return means a plan is staged and the engine must call
+        ``advance_active`` with exactly that many cycles next.
+        """
+        sys = self.system
+        gemm = sys.gemm_core
+        self.stats.boundaries += 1
+        # Keep at least one tile for the per-cycle loop so the completion
+        # cycle (and with it the final drain) is always stepped normally.
+        tiles_remaining = gemm.job.output_tiles - gemm._tile_index - 1
+        if tiles_remaining < MIN_PERIODS:
+            self._history.clear()
+            return 0
+        if self._slots is None:
+            self._build_slots()
+        now = sys._cycles
+        signature = self._signature()
+        snapshot = self._capture()
+        self._history.append((now, signature, snapshot))
+        for group in range(1, len(self._history)):
+            if group in self._skip_groups:
+                continue
+            prev_cycle, prev_signature, prev_snapshot = self._history[
+                -1 - group
+            ]
+            if signature != prev_signature:
+                continue
+            period = now - prev_cycle
+            if period <= 0 or limit < MIN_PERIODS * period:
+                continue
+            self.stats.attempts += 1
+            delta = snapshot - prev_snapshot
+            try:
+                plan = self._prepare(period, delta, limit, tiles_remaining)
+            except _Bail as bail:
+                self.stats.bail(bail.reason)
+                if bail.reason == "bank_pattern":
+                    self._skip_groups.add(group)
+                continue
+            self._plan = plan
+            return plan.cycles
+        return 0
+
+    def advance_active(self, cycles: int) -> None:
+        """Commit the staged plan (the span returned by :meth:`boundary`)."""
+        plan = self._plan
+        self._plan = None
+        if plan is None or plan.cycles != cycles:
+            raise RuntimeError(
+                f"advance_active({cycles}) without a matching staged plan"
+            )
+        self._commit(plan)
+        # Roll the reference forward so the very next boundary can chain
+        # another jump after re-observing just one period group.
+        assert self._history
+        _, signature, snapshot = self._history[-1]
+        self._history.clear()
+        self._history.append(
+            (plan.end_cycle, signature, snapshot + plan.delta * plan.periods)
+        )
+        self._skip_groups.clear()
+        self.stats.jumps += 1
+        self.stats.periods_replayed += plan.periods
+        self.stats.cycles_skipped += plan.cycles
+
+    # ------------------------------------------------------------------
+    # Planning (read-only: any failure bails with nothing mutated).
+    # ------------------------------------------------------------------
+    def _delta(self, delta: np.ndarray, name: str) -> int:
+        return int(delta[self._index[name]])
+
+    def _prepare(
+        self, period: int, delta: np.ndarray, limit: int, tiles_remaining: int
+    ) -> _Plan:
+        sys = self.system
+        mem = sys.memory
+        gemm = sys.gemm_core
+        d = lambda name: self._delta(delta, name)
+
+        group = d("gemm.tile")  # output tiles per period
+        if group < 1 or d("gemm.mac") != group * gemm.job.tiles_k:
+            raise _Bail("tile_cadence")
+        if sys._program.uses_quantizer and d("quant.tiles") != group:
+            raise _Bail("quantizer_cadence")
+
+        # Every memory requester must belong to an active stream channel.
+        active_ids = {
+            channel.requester_id
+            for port in sys._active_ports
+            for channel in sys.streamers[port]._active()
+        }
+        for name, state in mem._requesters.items():
+            if name not in active_ids and (state.pending or state.responses):
+                raise _Bail("foreign_requester")
+        for response in mem._in_flight:
+            if response.requester not in active_ids:
+                raise _Bail("foreign_requester")
+
+        periods = min(tiles_remaining // group, limit // period, MAX_PERIODS)
+        if periods < MIN_PERIODS:
+            raise _Bail("too_short")
+        streams: List[_StreamSpan] = []
+        for port in sys._active_ports:
+            span = self._prepare_stream(port, delta, periods)
+            if span is not None:
+                streams.append(span)
+                if span.delta:
+                    available = span.streamer.agu.total_bundles - span.generated
+                    periods = min(periods, available // span.delta)
+        if periods < MIN_PERIODS:
+            raise _Bail("too_short")
+
+        # Vectorized bank-pattern verification: the span's bank schedule
+        # must tile the reference period exactly; a deviation (e.g. a bank
+        # conflict pattern breaking the steady state) truncates the jump
+        # right before the deviating period.
+        for span in streams:
+            if not span.delta:
+                continue
+            step = span.delta
+            banks = span.banks
+            same = np.all(banks[step:] == banks[:-step], axis=1)
+            if not same.all():
+                mismatch = span.lo + step + int(np.argmin(same))
+                periods = min(periods, (mismatch - span.generated) // step)
+        if periods < MIN_PERIODS:
+            raise _Bail("bank_pattern")
+
+        # Span accesses must commute: reads and writes disjoint, writes
+        # unique, so one gather plus one scatter reproduces the per-cycle
+        # access sequence regardless of intra-span ordering.
+        depth = mem.geometry.bank_depth
+        read_keys: List[np.ndarray] = []
+        write_keys: List[np.ndarray] = []
+        for span in streams:
+            if not span.delta:
+                continue
+            count = periods * span.delta
+            for channel_span in span.channels:
+                start = channel_span.granted - span.lo
+                keys = (
+                    span.banks[start : start + count, channel_span.column] * depth
+                    + span.lines[start : start + count, channel_span.column]
+                )
+                (read_keys if span.is_read else write_keys).append(keys)
+                if not span.is_read:
+                    for request in mem._state(
+                        channel_span.channel.requester_id
+                    ).pending:
+                        if request.strobe is not None:
+                            raise _Bail("strobed_write")
+        if write_keys:
+            writes = np.concatenate(write_keys)
+            if np.unique(writes).size != writes.size:
+                raise _Bail("write_collision")
+            if read_keys and np.intersect1d(
+                np.concatenate(read_keys), writes
+            ).size:
+                raise _Bail("read_write_overlap")
+
+        self._verify_dataflow(streams, gemm, group)
+
+        return _Plan(
+            periods=periods,
+            cycles=periods * period,
+            end_cycle=sys._cycles + periods * period,
+            delta=delta,
+            streams=streams,
+            tiles=periods * group,
+        )
+
+    def _prepare_stream(
+        self, port: str, delta: np.ndarray, periods: int
+    ) -> Optional[_StreamSpan]:
+        """Check one streamer's uniform cadence and build its address span."""
+        sys = self.system
+        mem = sys.memory
+        streamer = sys.streamers[port]
+        d = lambda name: self._delta(delta, name)
+        bundles = d(f"{port}.bundles")
+        words = d(f"{port}.words")
+        agu = streamer.agu
+        if agu is None or agu.bundles_generated != streamer.bundles_generated:
+            raise _Bail("agu_desync")
+
+        channels: List[_ChannelSpan] = []
+        for column, channel in enumerate(streamer._active()):
+            rid = channel.requester_id
+            state = mem._requesters.get(rid)
+            granted = state.granted if state else 0
+            moved = (
+                d(f"{rid}.granted"),
+                d(f"{rid}.issued"),
+                d(f"{rid}.collected"),
+            )
+            if bundles == 0:
+                if words or any(moved):
+                    raise _Bail("quiescent_drift")
+                if channel.outstanding or (
+                    state is not None and (state.pending or state.responses)
+                ):
+                    # A frozen channel with traffic in the memory pipeline
+                    # cannot stay frozen for a whole span.
+                    raise _Bail("quiescent_traffic")
+                continue
+            if moved != (bundles, bundles, bundles) or words != bundles:
+                raise _Bail("ragged_cadence")
+            issued = channel.requests_issued
+            collected = channel.responses_received
+            popped = streamer.words_streamed
+            pending = len(state.pending) if state else 0
+            uncollected = granted - collected
+            in_flight = sum(
+                1 for r in mem._in_flight if r.requester == rid
+            ) + (len(state.responses) if state else 0)
+            consistent = (
+                channel.address_fifo.occupancy
+                == streamer.bundles_generated - issued
+                and pending == issued - granted
+                and channel.outstanding == issued - collected
+                and in_flight == uncollected
+            )
+            if streamer.is_read:
+                consistent = consistent and (
+                    channel.data_fifo.occupancy == collected - popped
+                )
+            else:
+                consistent = consistent and (
+                    channel.data_fifo.occupancy == popped - issued
+                )
+            if not consistent:
+                raise _Bail("window_mismatch")
+            channels.append(
+                _ChannelSpan(
+                    channel=channel,
+                    column=column,
+                    granted=granted,
+                    issued=issued,
+                    collected=collected,
+                    words=popped,
+                )
+            )
+
+        if bundles == 0:
+            return None
+        lo = min(span.granted for span in channels)
+        hi = min(
+            streamer.bundles_generated + periods * bundles, agu.total_bundles
+        )
+        matrix = agu.address_matrix(lo, hi - lo, streamer.active_channels)
+        banks, lines, offsets = streamer.remapper.decode_batch(matrix)
+        return _StreamSpan(
+            streamer=streamer,
+            port=port,
+            is_read=streamer.is_read,
+            delta=bundles,
+            generated=streamer.bundles_generated,
+            lo=lo,
+            matrix=matrix,
+            banks=banks,
+            lines=lines,
+            offsets=offsets,
+            channels=channels,
+        )
+
+    def _verify_dataflow(
+        self, streams: List[_StreamSpan], gemm, group: int
+    ) -> None:
+        """The moving streams must be exactly the GeMM/quantizer dataflow."""
+        sys = self.system
+        job = gemm.job
+        tile = gemm._tile_index
+        rate = group * job.tiles_k
+        consumers = {}
+        if gemm.a_stream is not None:
+            consumers[id(gemm.a_stream)] = ("a", rate, tile * job.tiles_k)
+        if gemm.b_stream is not None:
+            consumers[id(gemm.b_stream)] = ("b", rate, tile * job.tiles_k)
+        if job.use_init_stream and gemm.c_stream is not None:
+            consumers[id(gemm.c_stream)] = ("c", group, tile)
+        if gemm.a_stream is gemm.b_stream:
+            raise _Bail("shared_operand_stream")
+        if sys._program.uses_quantizer:
+            quantizer = sys.quantizer
+            processed = quantizer.tiles_processed
+            if quantizer._pending.occupancy != tile - processed:
+                raise _Bail("quantizer_window")
+            sink = quantizer.output_sink
+            sink_base = processed
+        else:
+            sink = gemm.output_sink
+            sink_base = tile
+        seen_reads = set()
+        write_spans = 0
+        for span in streams:
+            if span.is_read:
+                entry = consumers.get(id(span.streamer))
+                if entry is None:
+                    raise _Bail("unconsumed_read_stream")
+                _, stream_rate, base = entry
+                if (
+                    span.delta != stream_rate
+                    or span.streamer.words_streamed != base
+                ):
+                    raise _Bail("operand_phase")
+                seen_reads.add(id(span.streamer))
+            else:
+                write_spans += 1
+                if span.streamer is not sink:
+                    raise _Bail("unfed_write_stream")
+                if (
+                    span.delta != group
+                    or span.streamer.words_streamed != sink_base
+                ):
+                    raise _Bail("sink_phase")
+        # The replayer indexes operands/sink by these streams: every GeMM
+        # consumer must be moving, and exactly one write span feeds memory.
+        if seen_reads != set(consumers) or write_spans != 1:
+            raise _Bail("dataflow_incomplete")
+
+    # ------------------------------------------------------------------
+    # Replay (mutating; all preconditions already verified).
+    # ------------------------------------------------------------------
+    def _commit(self, plan: _Plan) -> None:
+        sys = self.system
+        mem = sys.memory
+        gemm = sys.gemm_core
+        periods = plan.periods
+        shift_cycles = plan.cycles
+        stacked = mem.scratchpad.stacked_words()
+
+        # 1. Assemble every read channel's word stream: the words currently
+        #    queued in its pipeline followed by everything the span's grants
+        #    will read — one gather over the stacked scratchpad per channel.
+        combined: Dict[str, np.ndarray] = {}
+        width = mem.geometry.bank_width_bytes
+        for span in plan.streams:
+            if not span.is_read:
+                continue
+            count = periods * span.delta
+            for channel_span in span.channels:
+                channel = channel_span.channel
+                rid = channel.requester_id
+                state = mem._requesters.get(rid)
+                existing: List[np.ndarray] = channel.data_fifo.snapshot()
+                if state is not None:
+                    existing.extend(r.data for r in state.responses)
+                existing.extend(
+                    r.data for r in mem._in_flight if r.requester == rid
+                )
+                start = channel_span.granted - span.lo
+                gathered = stacked[
+                    span.banks[start : start + count, channel_span.column],
+                    span.lines[start : start + count, channel_span.column],
+                ]
+                stackable = (
+                    np.stack(existing)
+                    if existing
+                    else np.empty((0, width), dtype=np.uint8)
+                )
+                combined[rid] = np.concatenate([stackable, gathered])
+
+        # 2. Collapse all MAC steps of all replayed tiles into one einsum.
+        operands: Dict[int, np.ndarray] = {}
+        for span in plan.streams:
+            if not span.is_read:
+                continue
+            pops = periods * span.delta
+            wide = np.concatenate(
+                [
+                    combined[channel_span.channel.requester_id][:pops]
+                    for channel_span in span.channels
+                ],
+                axis=1,
+            )
+            operands[id(span.streamer)] = span.streamer.extensions.apply_batch(
+                wide
+            )
+        a_words = operands[id(gemm.a_stream)]
+        b_words = operands[id(gemm.b_stream)]
+        c_words = (
+            operands[id(gemm.c_stream)]
+            if gemm.job.use_init_stream and gemm.c_stream is not None
+            else None
+        )
+        tiles_out = plan.tiles
+        out_bytes = gemm.compute_tiles_batch(tiles_out, a_words, b_words, c_words)
+
+        # 3. Route the produced tiles through the sink chain.
+        if sys._program.uses_quantizer:
+            from ..accelerators.quantizer import rescale_tile_batch
+
+            quantizer = sys.quantizer
+            pending: List[np.ndarray] = quantizer._pending.snapshot()
+            raw = np.concatenate(
+                [
+                    np.stack(pending)
+                    if pending
+                    else np.empty((0, out_bytes.shape[1]), dtype=np.uint8),
+                    out_bytes,
+                ]
+            )
+            tiles = (
+                np.ascontiguousarray(raw[:tiles_out])
+                .view(np.int32)
+                .reshape(tiles_out, quantizer.rows, quantizer.cols)
+            )
+            rescaled = rescale_tile_batch(tiles, quantizer.config)
+            sink_raw = (
+                np.ascontiguousarray(rescaled)
+                .view(np.uint8)
+                .reshape(tiles_out, -1)
+            )
+            quantizer._pending.replace_entries(list(raw[tiles_out:]))
+        else:
+            sink_raw = out_bytes
+        sink_span = next(span for span in plan.streams if not span.is_read)
+        sink_words = sink_span.streamer.extensions.apply_batch(sink_raw)
+        for channel_span in sink_span.channels:
+            channel = channel_span.channel
+            rid = channel.requester_id
+            state = mem._requesters.get(rid)
+            existing = [r.data for r in state.pending] if state else []
+            existing.extend(channel.data_fifo.snapshot())
+            slice_ = sink_words[
+                :, channel_span.column * width : (channel_span.column + 1) * width
+            ]
+            stackable = (
+                np.stack(existing)
+                if existing
+                else np.empty((0, width), dtype=np.uint8)
+            )
+            combined[rid] = np.concatenate([stackable, slice_])
+
+        # 4. Scatter the span's writes (one assignment per touched bank).
+        for span in plan.streams:
+            if span.is_read:
+                continue
+            count = periods * span.delta
+            for channel_span in span.channels:
+                start = channel_span.granted - span.lo
+                mem.scratchpad.scatter_words(
+                    span.banks[start : start + count, channel_span.column],
+                    span.lines[start : start + count, channel_span.column],
+                    combined[channel_span.channel.requester_id][:count],
+                )
+
+        # 5. Advance every scalar counter by r x its per-period delta and
+        #    fast-forward the AGUs.
+        self._apply_delta(plan.delta, periods)
+        for span in plan.streams:
+            span.streamer.agu.fast_forward(periods * span.delta)
+
+        # 6. Rebuild every queue as its position-shifted image.
+        new_in_flight: Dict[str, List[MemoryResponse]] = {}
+        for span in plan.streams:
+            shift = periods * span.delta
+            for channel_span in span.channels:
+                channel = channel_span.channel
+                rid = channel.requester_id
+                state = mem._state(rid)
+                stream = combined[rid]
+                base = (
+                    channel_span.words if span.is_read else channel_span.granted
+                )
+
+                def word_at(position: int) -> np.ndarray:
+                    return stream[position - base]
+
+                # Address FIFO: steps [issued+shift, generated+shift).
+                channel.address_fifo.replace_entries(
+                    ChannelAddress(
+                        logical=int(span.matrix[step - span.lo, channel_span.column]),
+                        location=BankLocation(
+                            bank=int(span.banks[step - span.lo, channel_span.column]),
+                            line=int(span.lines[step - span.lo, channel_span.column]),
+                            byte_offset=int(
+                                span.offsets[step - span.lo, channel_span.column]
+                            ),
+                        ),
+                        step=step,
+                    )
+                    for step in range(
+                        channel_span.issued + shift,
+                        span.generated + shift,
+                    )
+                )
+                # Pending requests: steps [granted+shift, issued+shift).
+                state.pending = deque(
+                    MemoryRequest(
+                        requester=rid,
+                        is_write=not span.is_read,
+                        bank=int(span.banks[step - span.lo, channel_span.column]),
+                        line=int(span.lines[step - span.lo, channel_span.column]),
+                        data=None if span.is_read else word_at(step),
+                        tag=step,
+                        submit_cycle=request.submit_cycle + shift_cycles,
+                    )
+                    for step, request in zip(
+                        range(
+                            channel_span.granted + shift,
+                            channel_span.issued + shift,
+                        ),
+                        state.pending,
+                    )
+                )
+                # Delivered-but-uncollected responses, then the data FIFO.
+                state.responses = deque(
+                    MemoryResponse(
+                        requester=rid,
+                        is_write=response.is_write,
+                        tag=response.tag + shift,
+                        data=None
+                        if response.data is None
+                        else word_at(response.tag + shift),
+                        ready_cycle=response.ready_cycle + shift_cycles,
+                        grant_cycle=response.grant_cycle + shift_cycles,
+                    )
+                    for response in state.responses
+                )
+                if span.is_read:
+                    channel.data_fifo.replace_entries(
+                        word_at(position)
+                        for position in range(
+                            channel_span.words + shift,
+                            channel_span.collected + shift,
+                        )
+                    )
+                else:
+                    channel.data_fifo.replace_entries(
+                        word_at(position)
+                        for position in range(
+                            channel_span.issued + shift,
+                            channel_span.words + shift,
+                        )
+                    )
+                new_in_flight[rid] = [
+                    MemoryResponse(
+                        requester=rid,
+                        is_write=response.is_write,
+                        tag=response.tag + shift,
+                        data=None
+                        if response.data is None
+                        else word_at(response.tag + shift),
+                        ready_cycle=response.ready_cycle + shift_cycles,
+                        grant_cycle=response.grant_cycle + shift_cycles,
+                    )
+                    for response in mem._in_flight
+                    if response.requester == rid
+                ]
+        # Preserve the global delivery order of the in-flight list.
+        replacements = {rid: iter(items) for rid, items in new_in_flight.items()}
+        mem._in_flight = [
+            next(replacements[response.requester]) for response in mem._in_flight
+        ]
+
+        # 7. The accumulator mirrors lockstep's dead-but-present last tile.
+        gemm._accumulator = (
+            np.ascontiguousarray(out_bytes[-1])
+            .view(np.int32)
+            .reshape(gemm.mu, gemm.nu)
+            .copy()
+        )

@@ -66,6 +66,10 @@ class ExplorationReport:
     simulated: int = 0
     cache_hits: int = 0
     replayed_from_journal: int = 0
+    #: Proposals the run fell short of its budget (the strategy stopped
+    #: producing candidates early) — a non-zero value explains an
+    #: under-spent budget.
+    proposal_shortfall: int = 0
 
     # ------------------------------------------------------------------
     def best(self, objective: Optional[ObjectiveSpec] = None) -> Evaluation:
@@ -86,6 +90,7 @@ class ExplorationReport:
             "simulated": self.simulated,
             "cache_hits": self.cache_hits,
             "replayed_from_journal": self.replayed_from_journal,
+            "proposal_shortfall": self.proposal_shortfall,
             "evaluations": [
                 {
                     "candidate": evaluation.candidate.as_dict(),
@@ -236,6 +241,10 @@ class ExplorationEngine:
         if isinstance(journal, (str, Path)):
             journal = RunJournal(journal)
 
+        # Reset before building the header: describe() contributes to the
+        # journal identity and must reflect a pristine strategy (e.g. a
+        # zero draw-shortfall) whether the object is fresh or reused.
+        self.strategy.reset(self.space, self.seed)
         header = self.journal_header(budget)
         replayed: Dict[str, Evaluation] = {}
         if journal is not None:
@@ -259,7 +268,6 @@ class ExplorationEngine:
         executed_before = self.simulator.stats.executed
         hits_before = self.simulator.stats.cache_hits
 
-        self.strategy.reset(self.space, self.seed)
         evaluated: Dict[str, Evaluation] = {}
         order: List[str] = []
         proposed = 0
@@ -302,4 +310,5 @@ class ExplorationEngine:
             simulated=self.simulator.stats.executed - executed_before,
             cache_hits=self.simulator.stats.cache_hits - hits_before,
             replayed_from_journal=sum(1 for e in evaluations if e.from_journal),
+            proposal_shortfall=budget - proposed,
         )

@@ -17,6 +17,8 @@ raises :class:`JournalMismatchError` rather than silently mixing runs.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -57,24 +59,63 @@ class RunJournal:
     # ------------------------------------------------------------------
     # Writing.
     # ------------------------------------------------------------------
-    def start(self, header: Dict[str, object]) -> None:
-        """Begin a fresh journal (truncates any previous file)."""
-        self.path.parent.mkdir(parents=True, exist_ok=True)
+    @staticmethod
+    def _header_record(header: Dict[str, object]) -> str:
         record = {"type": "header", "format": JOURNAL_FORMAT, **header}
-        with self.path.open("w", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        return json.dumps(record, sort_keys=True) + "\n"
 
-    def append(self, evaluation: Evaluation) -> None:
-        """Append one evaluation record and flush it to disk."""
+    @staticmethod
+    def _evaluation_record(evaluation: Evaluation) -> str:
         record = {
             "type": "evaluation",
             "candidate": evaluation.candidate.as_dict(),
             "metrics": evaluation.metrics,
             "job_hashes": evaluation.job_hashes,
         }
+        return json.dumps(record, sort_keys=True) + "\n"
+
+    def start(self, header: Dict[str, object]) -> None:
+        """Begin a fresh journal (truncates any previous file)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("w", encoding="utf-8") as handle:
+            handle.write(self._header_record(header))
+
+    def append(self, evaluation: Evaluation) -> None:
+        """Append one evaluation record and flush it to disk."""
         with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.write(self._evaluation_record(evaluation))
             handle.flush()
+
+    def _rewrite(self, contents: "JournalContents") -> None:
+        """Replace the journal atomically (temp file + rename).
+
+        Repair must use the same write-then-replace discipline as
+        ``ResultCache.put``: a crash mid-repair leaves either the original
+        journal or the fully repaired one on disk, never a half-written
+        file that would lose evaluations and force re-simulation on the
+        next resume.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        header = {
+            key: value
+            for key, value in contents.header.items()
+            if key not in ("type", "format")
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{self.path.name}-", suffix=".tmp", dir=str(self.path.parent)
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(self._header_record(header))
+                for evaluation in contents.evaluations:
+                    handle.write(self._evaluation_record(evaluation))
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
     # ------------------------------------------------------------------
     # Reading.
@@ -125,20 +166,13 @@ class RunJournal:
         """Load for resumption, verifying the header matches ``header``.
 
         If the previous run died mid-append, the partial trailing line is
-        dropped *and* the file is rewritten without it, so that records
-        appended by the resumed run start on a clean line.
+        dropped *and* the file is atomically rewritten without it, so that
+        records appended by the resumed run start on a clean line and a
+        crash *during the repair itself* cannot lose any evaluation.
         """
         contents = self.load()
         if contents.dropped_lines:
-            self.start(
-                {
-                    key: value
-                    for key, value in contents.header.items()
-                    if key not in ("type", "format")
-                }
-            )
-            for evaluation in contents.evaluations:
-                self.append(evaluation)
+            self._rewrite(contents)
             contents.dropped_lines = 0
         mismatched = {
             key: (contents.header.get(key), value)

@@ -20,6 +20,7 @@ then mutation of the current Pareto parents).
 from __future__ import annotations
 
 import random
+import warnings
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence
 
 from .objectives import Evaluation, ObjectiveSpec, pareto_frontier
@@ -30,6 +31,30 @@ class Strategy:
     """Base class / protocol for candidate-proposal strategies."""
 
     name = "strategy"
+
+    #: Candidates the strategy wanted to propose but could not produce
+    #: (``max_attempts_per_draw`` exhausted on a small or heavily
+    #: constrained space), summed over every :meth:`propose` call.  A
+    #: non-zero value means the engine under-spent its budget.  This is a
+    #: per-draw diagnostic — the terminal empty batch also counts its full
+    #: target, so it can exceed the budget under-spend; the exploration
+    #: report's ``proposal_shortfall`` is the exact budget-level figure.
+    draw_shortfall: int = 0
+
+    def _note_shortfall(self, missing: int) -> None:
+        if missing <= 0:
+            return
+        self.draw_shortfall += missing
+        if not getattr(self, "_shortfall_warned", False):
+            self._shortfall_warned = True
+            warnings.warn(
+                f"{self.name} strategy could not fill a proposal batch "
+                f"({missing} candidate(s) short after exhausting its draw "
+                f"attempts); the space is likely smaller than the budget "
+                f"and the run will under-spend it",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def reset(self, space: SearchSpace, seed: int) -> None:
         """Bind to a space and seed; must fully re-initialise all state."""
@@ -92,6 +117,8 @@ class RandomStrategy(Strategy):
         self._rng = random.Random(f"random:{seed}")
         self._space = space
         self._proposed = set()
+        self.draw_shortfall = 0
+        self._shortfall_warned = False
 
     def propose(
         self, evaluated: Mapping[str, Evaluation], remaining: int
@@ -109,10 +136,15 @@ class RandomStrategy(Strategy):
                 continue
             self._proposed.add(candidate.key())
             batch.append(candidate)
+        self._note_shortfall(target - len(batch))
         return batch
 
     def describe(self) -> Dict[str, object]:
-        return {"strategy": self.name, "batch_size": self.batch_size}
+        return {
+            "strategy": self.name,
+            "batch_size": self.batch_size,
+            "draw_shortfall": self.draw_shortfall,
+        }
 
 
 class EvolutionaryStrategy(Strategy):
@@ -149,6 +181,8 @@ class EvolutionaryStrategy(Strategy):
         self._space = space
         self._proposed = set()
         self._generation = 0
+        self.draw_shortfall = 0
+        self._shortfall_warned = False
 
     # ------------------------------------------------------------------
     def _fresh(self, batch: List[Candidate]) -> Optional[Candidate]:
@@ -201,6 +235,7 @@ class EvolutionaryStrategy(Strategy):
         for candidate in batch:
             self._proposed.add(candidate.key())
         self._generation += 1
+        self._note_shortfall(target - len(batch))
         return batch
 
     def describe(self) -> Dict[str, object]:
@@ -208,6 +243,7 @@ class EvolutionaryStrategy(Strategy):
             "strategy": self.name,
             "population": self.population,
             "objectives": [f"{spec.goal}:{spec.name}" for spec in self.objectives],
+            "draw_shortfall": self.draw_shortfall,
         }
 
 

@@ -156,6 +156,35 @@ def decode_address(
     return BankLocation(bank=bank, line=line, byte_offset=byte_offset)
 
 
+def decode_address_batch(addresses, geometry: BankGeometry, group_size: int):
+    """Vectorized :func:`decode_address` over a numpy array of byte addresses.
+
+    Returns ``(banks, lines, byte_offsets)`` as ``int64`` arrays with the
+    same shape as ``addresses``.  Used by the macro-step fast path to
+    evaluate the bank mapping of whole address spans at once instead of
+    probing one address at a time.
+    """
+    import numpy as np
+
+    group_size = normalize_group_size(geometry, group_size)
+    addresses = np.asarray(addresses, dtype=np.int64)
+    if addresses.size and int(addresses.min()) < 0:
+        raise ValueError("negative address in batch")
+    byte_offset = addresses % geometry.bank_width_bytes
+    word = addresses // geometry.bank_width_bytes
+    if addresses.size and int(word.max()) >= geometry.total_words:
+        raise ValueError(
+            f"address batch exceeds scratchpad capacity "
+            f"{geometry.capacity_bytes:#x}"
+        )
+    words_per_group = group_size * geometry.bank_depth
+    group = word // words_per_group
+    within = word % words_per_group
+    bank = group * group_size + within % group_size
+    line = within // group_size
+    return bank, line, byte_offset
+
+
 def encode_location(
     location: BankLocation, geometry: BankGeometry, group_size: int
 ) -> int:

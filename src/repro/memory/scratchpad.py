@@ -47,6 +47,34 @@ class ScratchpadMemory:
         """Write one word (optionally byte-strobed) at a decoded location."""
         self.banks[bank].write(line, data, strobe)
 
+    # ------------------------------------------------------------------
+    # Bulk span access (macro-step fast path; uncounted — the caller
+    # applies the per-bank access counters for the whole span at once).
+    # ------------------------------------------------------------------
+    def stacked_words(self) -> np.ndarray:
+        """One ``(num_banks, depth, width)`` copy of the whole scratchpad.
+
+        Indexing the stack with decoded ``(bank, line)`` arrays gathers many
+        words in one numpy operation; the macro-step replayer builds the
+        stack once per span and serves every channel's reads from it.
+        """
+        return np.stack([bank._data for bank in self.banks])
+
+    def scatter_words(
+        self, banks: np.ndarray, lines: np.ndarray, words: np.ndarray
+    ) -> None:
+        """Write many full words at decoded locations (one op per bank).
+
+        Locations must be unique — duplicate targets within one scatter
+        would make the outcome order-dependent, which the macro-step
+        planner rules out before calling.
+        """
+        banks = np.asarray(banks)
+        lines = np.asarray(lines)
+        for bank_index in np.unique(banks):
+            mask = banks == bank_index
+            self.banks[int(bank_index)]._data[lines[mask]] = words[mask]
+
     @property
     def total_reads(self) -> int:
         return sum(bank.read_count for bank in self.banks)

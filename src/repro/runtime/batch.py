@@ -11,9 +11,10 @@
 * **isolation** — worker processes receive the pickled job and resolve the
   backend themselves, so backends keep no shared mutable state.
 
-With ``max_workers`` ≤ 1 everything runs in-process (the default, and what
-the test suite uses); larger values fan the cache misses out over a
-``ProcessPoolExecutor``.
+With ``max_workers`` ≤ 1 (``0`` and ``None`` included) everything runs
+in-process — the fan-out path never hands a zero worker count to the
+``ProcessPoolExecutor``; larger values fan the cache misses out over a
+process pool.
 """
 
 from __future__ import annotations
@@ -34,15 +35,24 @@ def execute_job(job: SimJob) -> SimOutcome:
 
 @dataclass
 class BatchStats:
-    """Execution counters of one runner (accumulated across ``run`` calls)."""
+    """Execution counters of one runner (accumulated across ``run`` calls).
+
+    ``cache_hits``/``cache_misses`` mirror the :class:`ResultCache` counters
+    exactly: every screening lookup goes through the cache's counted
+    ``get`` path, so after any number of runs against one fresh cache,
+    ``cache.hits == stats.cache_hits`` and ``cache.misses ==
+    stats.cache_misses == stats.executed + stats.deduplicated``.
+    """
 
     executed: int = 0
     cache_hits: int = 0
+    cache_misses: int = 0
     deduplicated: int = 0
 
     def merge(self, other: "BatchStats") -> None:
         self.executed += other.executed
         self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
         self.deduplicated += other.deduplicated
 
 
@@ -68,6 +78,9 @@ class BatchRunner:
         keys = [job.job_hash() for job in jobs]
 
         # 1. Screen against the cache and deduplicate within the batch.
+        # Screening goes through the cache's single counted lookup path
+        # (get, never __contains__), so BatchStats and ResultCache counters
+        # stay in lockstep: one hit or one miss per screened job.
         first_index: Dict[str, int] = {}
         pending: List[int] = []
         for index, (job, key) in enumerate(zip(jobs, keys)):
@@ -77,6 +90,7 @@ class BatchRunner:
                     outcomes[index] = hit
                     self.stats.cache_hits += 1
                     continue
+                self.stats.cache_misses += 1
             if key in first_index:
                 self.stats.deduplicated += 1
                 continue
@@ -102,6 +116,8 @@ class BatchRunner:
 
     # ------------------------------------------------------------------
     def _execute(self, jobs: List[SimJob]) -> List[SimOutcome]:
+        # 0 and None both normalize to in-process execution: the pool path
+        # below must never see a non-positive worker count.
         workers = self.max_workers or 1
         workers = min(workers, len(jobs))
         if workers <= 1:

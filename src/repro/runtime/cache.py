@@ -55,6 +55,14 @@ class ResultCache:
         return self.directory / f"{key}.pkl"
 
     def __contains__(self, key: str) -> bool:
+        """Uncounted existence probe.
+
+        This deliberately bypasses the :attr:`hits`/:attr:`misses` counters
+        (it answers "is there a file", not "was a lookup served"), so cache
+        *screening* must never use it — :meth:`get` is the one counted
+        lookup path, and the runtime's batch statistics are asserted
+        against it in the test suite.
+        """
         return self.path_for(key).is_file()
 
     def __len__(self) -> int:

@@ -67,6 +67,7 @@ class Simulator:
             if hit is not None:
                 self.stats.cache_hits += 1
                 return hit
+            self.stats.cache_misses += 1
         outcome = get_backend(job.backend).execute(job)
         self.stats.executed += 1
         if self.cache is not None:

@@ -117,6 +117,21 @@ class Fifo(Generic[T]):
         """Drop all entries (used when re-configuring between kernels)."""
         self._entries.clear()
 
+    def replace_entries(self, items: Iterable[T]) -> None:
+        """Swap the stored entries without touching the push/pop counters.
+
+        Used by the macro-step fast path, which bulk-applies the span's
+        push/pop counts separately and then installs the window of entries
+        the per-cycle loop would have left behind.
+        """
+        entries: Deque[T] = deque(items)
+        if len(entries) > self.depth:
+            raise FifoError(
+                f"replace_entries overfills FIFO '{self.name}' "
+                f"({len(entries)} > depth {self.depth})"
+            )
+        self._entries = entries
+
     def snapshot(self) -> List[T]:
         """Return the current contents oldest-first (for tests/debugging)."""
         return list(self._entries)

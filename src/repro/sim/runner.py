@@ -10,9 +10,12 @@ The runner is a thin driver over the simulation engines in
 :mod:`repro.engine`: targets that implement the event protocol
 (``last_step_activity`` / ``next_event_cycle()`` / ``advance(n)`` alongside
 ``step()``) are scheduled event-driven by default — time jumps over provably
-inactive spans — while plain :class:`Steppable` targets fall back to the
-legacy lockstep loop.  Pass ``engine="lockstep"`` or ``engine="event"`` to
-force a mode.
+inactive spans, and targets that additionally implement the macro protocol
+(``steady_span(limit)`` / ``advance_active(n)``, see
+:mod:`repro.engine.steady`) get whole *active* steady-state spans replayed
+vectorized — while plain :class:`Steppable` targets fall back to the legacy
+lockstep loop.  Pass ``engine="lockstep"`` or ``engine="event"`` to force a
+mode.
 """
 
 from __future__ import annotations

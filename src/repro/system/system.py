@@ -96,6 +96,8 @@ class AcceleratorSystem:
         self._program = None
         self._cycles = 0
         self.last_step_activity = 0
+        self._tile_completed = False
+        self._steady = None
 
     # ------------------------------------------------------------------
     # Program loading.
@@ -183,6 +185,7 @@ class AcceleratorSystem:
         # cycle's tile before the core produces a new one).
         if self._program.uses_quantizer and self.quantizer.step():
             activity += 1
+        tile_before = self.gemm_core._tile_index
         if self.gemm_core.step():
             activity += 1
 
@@ -198,6 +201,7 @@ class AcceleratorSystem:
 
         self._cycles += 1
         self.last_step_activity = activity
+        self._tile_completed = self.gemm_core._tile_index != tile_before
         return not self.finished
 
     # ------------------------------------------------------------------
@@ -253,6 +257,39 @@ class AcceleratorSystem:
         self.gemm_core.advance(cycles)
 
     # ------------------------------------------------------------------
+    # Macro-step protocol (see repro.engine.steady).
+    # ------------------------------------------------------------------
+    def steady_span(self, limit: int) -> int:
+        """Cycles the system can bulk-advance from a steady-state boundary.
+
+        Returns ``0`` except right after a step that completed an output
+        tile whose surrounding schedule is a verified periodic steady state
+        (see :mod:`repro.engine.steady`).  A non-zero return stages a plan;
+        the caller must follow up with :meth:`advance_active` for exactly
+        that many cycles.  ``limit`` caps the span (budget remaining).
+        """
+        if not self._tile_completed or self._program is None:
+            return 0
+        if self._steady is None:
+            # Created on first use so lockstep-only runs never pay for the
+            # planner (repro.engine.steady) at all.
+            from ..engine.steady import SteadySpanPlanner
+
+            self._steady = SteadySpanPlanner(self)
+        return self._steady.boundary(limit)
+
+    def advance_active(self, cycles: int) -> None:
+        """Bulk-apply the steady span staged by :meth:`steady_span`."""
+        assert self._steady is not None
+        self._steady.advance_active(cycles)
+
+    def steady_stats(self) -> Dict[str, object]:
+        """Observability counters of the macro-step fast path."""
+        if self._steady is None:
+            return {}
+        return self._steady.stats.as_dict()
+
+    # ------------------------------------------------------------------
     # Whole-kernel execution.
     # ------------------------------------------------------------------
     def run(
@@ -265,11 +302,15 @@ class AcceleratorSystem:
 
         ``engine`` selects the simulation loop: ``"event"`` (the default
         next-event scheduler) or ``"lockstep"`` (the legacy per-cycle loop).
-        Both produce identical results; see ``docs/ENGINE.md``.
+        A pre-built :class:`~repro.engine.base.SimulationEngine` instance is
+        also accepted (the engine benchmark uses this to time the event
+        scheduler with macro-stepping disabled).  All variants produce
+        identical results; see ``docs/ENGINE.md``.
         """
         self.load_program(program)
         assert self.memory is not None and self.dma is not None
-        get_engine(engine).drive(
+        driver = get_engine(engine) if isinstance(engine, str) else engine
+        driver.drive(
             self,
             max_cycles=max_cycles,
             describe=f"kernel {program.name!r}",
@@ -312,7 +353,7 @@ class AcceleratorSystem:
                     program.job.tiles_k,
                 ),
                 "active_ports": list(self._active_ports),
-                "engine": engine,
+                "engine": engine if isinstance(engine, str) else driver.name,
             },
         )
         return result

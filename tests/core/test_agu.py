@@ -205,3 +205,104 @@ class TestAGUProperties:
         for bound in bounds:
             expected *= bound
         assert len(bundles) == expected
+
+
+class TestBatchEvaluation:
+    """Vectorized AGU evaluation must equal the stepped dual counters."""
+
+    CONFIGS = [
+        ((4,), (8,), 0),
+        ((3, 5), (16, 64), 128),
+        ((2, 3, 4), (8, 0, 512), 32768),
+        ((8, 8, 8), (64, 0, 512), 0),
+    ]
+
+    def test_address_batch_matches_stepping(self):
+        from repro.core.agu import TemporalAddressGenerator
+
+        for bounds, strides, base in self.CONFIGS:
+            generator = TemporalAddressGenerator(bounds, strides, base)
+            stepped = []
+            while not generator.exhausted:
+                stepped.append(generator.current_address())
+                generator.advance()
+            fresh = TemporalAddressGenerator(bounds, strides, base)
+            batch = fresh.address_batch(0, len(stepped))
+            assert batch.tolist() == stepped
+            # Arbitrary window.
+            window = fresh.address_batch(2, len(stepped) - 2)
+            assert window.tolist() == stepped[2:]
+
+    def test_address_batch_window_bounds(self):
+        from repro.core.agu import TemporalAddressGenerator
+
+        generator = TemporalAddressGenerator((2, 2), (1, 2))
+        with pytest.raises(ValueError):
+            generator.address_batch(0, 5)
+        with pytest.raises(ValueError):
+            generator.address_batch(-1, 1)
+
+    def test_fast_forward_matches_stepping(self):
+        import math
+
+        from repro.core.agu import TemporalAddressGenerator
+
+        for bounds, strides, base in self.CONFIGS:
+            total = math.prod(bounds)
+            for jump in (1, 2, total - 1, total):
+                stepped = TemporalAddressGenerator(bounds, strides, base)
+                for _ in range(jump):
+                    stepped.advance()
+                jumped = TemporalAddressGenerator(bounds, strides, base)
+                jumped.fast_forward(jump)
+                assert jumped.current_indices() == stepped.current_indices()
+                assert jumped.current_address() == stepped.current_address()
+                assert jumped.exhausted == stepped.exhausted
+                assert jumped.steps_generated == stepped.steps_generated
+
+    def test_fast_forward_overrun_rejected(self):
+        from repro.core.agu import TemporalAddressGenerator
+
+        generator = TemporalAddressGenerator((2, 2), (1, 2))
+        with pytest.raises(RuntimeError):
+            generator.fast_forward(5)
+        with pytest.raises(ValueError):
+            generator.fast_forward(-1)
+
+    def test_address_matrix_matches_bundles(self):
+        unit = AddressGenerationUnit(
+            temporal_bounds=(3, 4),
+            temporal_strides=(64, 512),
+            spatial_bounds=(8,),
+            spatial_strides=(8,),
+            base_address=1024,
+        )
+        expected = [bundle.addresses for bundle in unit.iter_bundles(8)]
+        fresh = AddressGenerationUnit(
+            temporal_bounds=(3, 4),
+            temporal_strides=(64, 512),
+            spatial_bounds=(8,),
+            spatial_strides=(8,),
+            base_address=1024,
+        )
+        matrix = fresh.address_matrix(0, len(expected), 8)
+        assert [tuple(row) for row in matrix.tolist()] == expected
+
+    def test_agu_fast_forward_continues_identically(self):
+        def fresh_unit():
+            return AddressGenerationUnit(
+                temporal_bounds=(4, 4),
+                temporal_strides=(8, 128),
+                spatial_bounds=(4,),
+                spatial_strides=(2,),
+            )
+
+        stepped = fresh_unit()
+        for _ in range(6):
+            stepped.next_bundle(4)
+        jumped = fresh_unit()
+        jumped.fast_forward(6)
+        assert jumped.bundles_generated == stepped.bundles_generated
+        while not stepped.exhausted:
+            assert jumped.next_bundle(4) == stepped.next_bundle(4)
+        assert jumped.exhausted

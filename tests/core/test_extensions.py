@@ -174,3 +174,72 @@ class TestPipeline:
         stats = pipeline.statistics()
         assert stats["broadcaster_0_processed"] == 1
         assert stats["broadcaster_0_bypassed"] == 0
+
+
+class TestApplyBatch:
+    """apply_batch must equal per-word apply, counters included."""
+
+    def _pair(self, make):
+        return make(), make()
+
+    def test_transposer_batch_matches_scalar(self):
+        import numpy as np
+
+        scalar, batched = self._pair(
+            lambda: Transposer(rows=4, cols=4, element_bytes=1)
+        )
+        words = np.arange(3 * 16, dtype=np.uint8).reshape(3, 16)
+        expected = np.stack([scalar.apply(word) for word in words])
+        result = batched.apply_batch(words)
+        assert np.array_equal(result, expected)
+        assert batched.words_processed == scalar.words_processed == 3
+
+    def test_broadcaster_batch_matches_scalar(self):
+        import numpy as np
+
+        scalar, batched = self._pair(lambda: Broadcaster(factor=4))
+        words = np.arange(2 * 8, dtype=np.uint8).reshape(2, 8)
+        expected = np.stack([scalar.apply(word) for word in words])
+        assert np.array_equal(batched.apply_batch(words), expected)
+        assert batched.words_processed == 2
+
+    def test_disabled_stage_counts_bypasses(self):
+        import numpy as np
+
+        stage = Transposer(rows=2, cols=2, element_bytes=1)
+        stage.set_enabled(False)
+        words = np.zeros((5, 4), dtype=np.uint8)
+        out = stage.apply_batch(words)
+        assert np.array_equal(out, words)
+        assert stage.words_bypassed == 5
+        assert stage.words_processed == 0
+
+    def test_custom_extension_falls_back_to_per_word(self):
+        import numpy as np
+
+        class Reverser(DatapathExtension):
+            kind = "reverser"
+
+            def process(self, word):
+                return word[::-1]
+
+        stage = Reverser()
+        words = np.arange(2 * 4, dtype=np.uint8).reshape(2, 4)
+        out = stage.apply_batch(words)
+        assert np.array_equal(out, words[:, ::-1])
+        assert stage.words_processed == 2
+
+    def test_pipeline_batch_matches_scalar_cascade(self):
+        import numpy as np
+
+        def build():
+            pipeline = ExtensionPipeline(
+                [Broadcaster(factor=2), Transposer(rows=4, cols=4, element_bytes=1)]
+            )
+            return pipeline
+
+        scalar, batched = build(), build()
+        words = np.arange(3 * 8, dtype=np.uint8).reshape(3, 8)
+        expected = np.stack([scalar.apply(word) for word in words])
+        assert np.array_equal(batched.apply_batch(words), expected)
+        assert batched.statistics() == scalar.statistics()

@@ -1,0 +1,204 @@
+"""Macro-step (steady-span) fast-path parity on its adversarial corners.
+
+The vectorized fast path (:mod:`repro.engine.steady`) must stay
+bit-identical to lockstep exactly where its assumptions are most fragile:
+
+* **single-cycle kernels** — ``tiles_k == 1`` completes an output tile on
+  every firing cycle, so boundary bookkeeping runs at maximum rate;
+* **steady state broken mid-span by a bank conflict** — the compute-bound
+  kernel's B operand shifts its bank pattern every tile, so the planner
+  must truncate spans right before the deviating period and let the
+  per-cycle loop arbitrate the conflicts (conflict counts are part of the
+  parity assertion);
+* **deadlocks** — a kernel that streams steadily (and macro-jumps) before
+  starving must raise the same :class:`SimulationLimitError` at the same
+  cycle with the same report as lockstep, including mid-kernel budget
+  exhaustion that lands inside what would have been a steady span.
+
+It also pins down the protocol plumbing: the fast path engages on the
+compute-bound kernel (this is the PR's performance claim), stays inert
+under ``macro_stepping=False``, and reports its activity via
+``steady_stats``.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.compiler import compile_workload
+from repro.core.csr import encode_runtime_config
+from repro.core.params import FeatureSet
+from repro.engine import EventDrivenEngine, supports_macro_protocol
+from repro.sim import SimulationLimitError
+from repro.system import AcceleratorSystem, datamaestro_evaluation_system
+from repro.workloads import GemmWorkload
+
+from test_parity import assert_parity, assert_results_identical, run_engine
+
+DESIGN = datamaestro_evaluation_system()
+
+
+def compute_bound_workload():
+    """The benchmark kernel: dense 64x64x64 GeMM, >99% utilization."""
+    return GemmWorkload(name="macro_cb", m=64, n=64, k=64)
+
+
+# ----------------------------------------------------------------------
+# Single-cycle kernels: a tile boundary on every firing cycle.
+# ----------------------------------------------------------------------
+class TestSingleCycleKernels:
+    @pytest.mark.parametrize(
+        "workload",
+        [
+            GemmWorkload(name="macro_single_tile", m=8, n=8, k=8),
+            GemmWorkload(name="macro_k8", m=64, n=64, k=8),
+            GemmWorkload(name="macro_m8", m=8, n=64, k=64),
+            GemmWorkload(name="macro_k8_quant", m=32, n=32, k=8, quantize=True),
+        ],
+        ids=lambda workload: workload.name,
+    )
+    def test_parity(self, workload):
+        assert_parity(workload)
+
+
+# ----------------------------------------------------------------------
+# Steady state broken mid-span by bank conflicts.
+# ----------------------------------------------------------------------
+class TestConflictBrokenSteadyState:
+    def test_conflicting_steady_state_is_exact(self):
+        """The kernel both macro-jumps and arbitrates recurring conflicts.
+
+        The compute-bound GeMM's write burst conflicts on every tile and
+        its B operand shifts banks each tile, so spans are truncated by
+        the vectorized bank-pattern check; parity on conflict counts and
+        per-streamer retry statistics proves the truncation is exact.
+        """
+        workload = compute_bound_workload()
+        system_l, lockstep = run_engine("lockstep", workload)
+        system_e, event = run_engine("event", workload)
+        assert_results_identical(lockstep, event)
+        assert event.bank_conflicts > 0, "corner needs recurring conflicts"
+        stats = system_e.steady_stats()
+        assert stats["jumps"] >= 1, "fast path never engaged"
+        assert stats["bails"].get("bank_pattern", 0) >= 1, (
+            "corner needs a bank-pattern break mid-stream"
+        )
+
+    def test_group_interleaved_variants(self):
+        """Sweep addressing-mode configs so bank patterns differ."""
+        for group_size in (64, 16, 1):
+            design = dataclasses.replace(
+                DESIGN, name=f"macro_gima_{group_size}"
+            )
+            workload = GemmWorkload(
+                name=f"macro_gima_{group_size}", m=32, n=32, k=64
+            )
+            assert_parity(workload, design=design)
+
+
+# ----------------------------------------------------------------------
+# Deadlocks and budget exhaustion around the fast path.
+# ----------------------------------------------------------------------
+class TestDeadlockAndBudget:
+    def starved_after_steady_program(self):
+        """A's AGU holds half its bundles: steady streaming, then starvation."""
+        workload = compute_bound_workload()
+        program = compile_workload(workload, DESIGN, FeatureSet.all_enabled())
+        short = program.streamer_configs["A"].with_updates(
+            temporal_bounds=(8, 8, 4)
+        )
+        program.streamer_configs["A"] = short
+        program.csr_writes["A"] = encode_runtime_config(
+            DESIGN.streamer("A"), short, list(DESIGN.group_size_options())
+        )
+        return program
+
+    def test_deadlock_after_steady_phase_identical(self):
+        errors = {}
+        stats = {}
+        for engine in ("lockstep", "event"):
+            system = AcceleratorSystem(DESIGN)
+            with pytest.raises(SimulationLimitError) as excinfo:
+                system.run(
+                    self.starved_after_steady_program(),
+                    max_cycles=5_000,
+                    engine=engine,
+                )
+            errors[engine] = excinfo.value
+            stats[engine] = system.steady_stats()
+        assert errors["lockstep"].cycles == errors["event"].cycles == 5_000
+        assert errors["lockstep"].detail == errors["event"].detail
+        # The deadlock must have been preceded by real macro jumps,
+        # otherwise this corner degenerates to the plain deadlock test.
+        assert stats["event"]["jumps"] >= 1
+
+    def test_budget_exhaustion_inside_steady_phase(self):
+        """A budget that expires mid-steady-state must error identically."""
+        workload = compute_bound_workload()
+        errors = {}
+        for engine in ("lockstep", "event"):
+            system = AcceleratorSystem(DESIGN)
+            program = compile_workload(
+                workload, DESIGN, FeatureSet.all_enabled()
+            )
+            with pytest.raises(SimulationLimitError) as excinfo:
+                system.run(program, max_cycles=300, engine=engine)
+            errors[engine] = excinfo.value
+        assert errors["lockstep"].cycles == errors["event"].cycles == 300
+        assert errors["lockstep"].detail == errors["event"].detail
+
+
+# ----------------------------------------------------------------------
+# Protocol plumbing.
+# ----------------------------------------------------------------------
+class TestMacroProtocol:
+    def test_fast_path_engages_on_compute_bound(self):
+        system, result = run_engine("event", compute_bound_workload())
+        stats = system.steady_stats()
+        assert stats["jumps"] >= 1
+        assert stats["cycles_skipped"] > result.streaming_cycles // 2, (
+            "fast path must cover the majority of a compute-bound kernel"
+        )
+
+    def test_macro_stepping_disable_matches(self):
+        """macro_stepping=False reproduces PR 3's pure next-event engine."""
+        workload = compute_bound_workload()
+        program = compile_workload(workload, DESIGN, FeatureSet.all_enabled())
+        plain = AcceleratorSystem(DESIGN)
+        result_plain = plain.run(
+            program, engine=EventDrivenEngine(macro_stepping=False)
+        )
+        # The planner is created lazily on first steady_span(); with
+        # macro-stepping off it never exists at all.
+        assert plain.steady_stats() == {}
+        fast = AcceleratorSystem(DESIGN)
+        result_fast = fast.run(program, engine="event")
+        assert fast.steady_stats()["jumps"] >= 1
+        assert_results_identical(result_plain, result_fast)
+
+    def test_system_advertises_macro_protocol(self):
+        assert supports_macro_protocol(AcceleratorSystem(DESIGN))
+
+    def test_steady_span_zero_off_boundary(self):
+        system = AcceleratorSystem(DESIGN)
+        program = compile_workload(
+            compute_bound_workload(), DESIGN, FeatureSet.all_enabled()
+        )
+        system.load_program(program)
+        assert system.steady_span(1_000_000) == 0  # no tile completed yet
+        system.step()
+        # One step cannot complete a tile (the pipeline is still filling).
+        assert system.steady_span(1_000_000) == 0
+
+    def test_steady_stats_shape(self):
+        system, _ = run_engine("event", compute_bound_workload())
+        stats = system.steady_stats()
+        assert set(stats) == {
+            "boundaries",
+            "attempts",
+            "jumps",
+            "periods_replayed",
+            "cycles_skipped",
+            "bails",
+        }
+        assert stats["boundaries"] >= stats["attempts"] >= stats["jumps"]

@@ -248,3 +248,18 @@ class TestReport:
                 assert spec.name in evaluation.metrics
             assert evaluation.metrics["energy_pj"] > 0
             assert evaluation.metrics["area"] > 0
+
+
+class TestProposalShortfall:
+    def test_under_spent_budget_reported_exactly(self):
+        """Small space + large budget: shortfall == budget - evaluations."""
+        with pytest.warns(RuntimeWarning, match="under-spend"):
+            report = make_engine("random").run(budget=10)
+        # The space holds 4 valid candidates (2 axes x 2 values).
+        assert len(report.evaluations) == 4
+        assert report.proposal_shortfall == 10 - 4
+        assert report.as_dict()["proposal_shortfall"] == 6
+
+    def test_fully_spent_budget_reports_zero(self):
+        report = make_engine("grid").run(budget=4)
+        assert report.proposal_shortfall == 0

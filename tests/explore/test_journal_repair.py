@@ -1,0 +1,112 @@
+"""Truncated-tail journal repair must be atomic (temp file + rename).
+
+A crash while *repairing* a journal previously rewrote the file in place
+(header first, records appended one by one), so a second crash could leave
+a journal with fewer evaluations than the run had completed — silently
+re-simulating them on the next resume.  The repair now stages the repaired
+journal in a temporary file and atomically renames it over the original:
+at every instant the path holds either the damaged-but-parseable original
+or the fully repaired journal.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.explore import Candidate, Evaluation
+from repro.explore.journal import JournalError, RunJournal
+
+HEADER = {"seed": 0, "strategy": "random", "space_digest": "abc", "budget": 4}
+
+
+def evaluation(index: int) -> Evaluation:
+    return Evaluation(
+        candidate=Candidate.from_dict({"axis0": index}),
+        metrics={"cycles": float(index)},
+        job_hashes=[f"hash{index}"],
+    )
+
+
+def truncated_journal(path) -> RunJournal:
+    """A journal whose final append was cut mid-line by a crash."""
+    journal = RunJournal(path)
+    journal.start(HEADER)
+    for index in range(3):
+        journal.append(evaluation(index))
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write('{"type": "evaluation", "candidate": {"axi')
+    return journal
+
+
+class TestAtomicRepair:
+    def test_resume_repairs_and_keeps_all_records(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = truncated_journal(path)
+        contents = journal.resume(HEADER)
+        assert len(contents.evaluations) == 3
+        assert contents.dropped_lines == 0
+        # The file itself was rewritten without the partial line.
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 4
+        assert all(json.loads(line) for line in lines)
+        # No stray temp files left behind.
+        assert [p.name for p in tmp_path.iterdir()] == ["run.jsonl"]
+
+    def test_crash_during_repair_leaves_original_intact(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "run.jsonl"
+        journal = truncated_journal(path)
+        before = path.read_bytes()
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash during rename")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            journal.resume(HEADER)
+        # Original file untouched, temp file cleaned up.
+        assert path.read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["run.jsonl"]
+
+    def test_resume_after_failed_repair_still_replays_everything(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "run.jsonl"
+        journal = truncated_journal(path)
+        monkeypatch.setattr(
+            os, "replace", lambda *a: (_ for _ in ()).throw(OSError("boom"))
+        )
+        with pytest.raises(OSError):
+            journal.resume(HEADER)
+        monkeypatch.undo()
+        contents = RunJournal(path).resume(HEADER)
+        assert len(contents.evaluations) == 3
+        assert [e.candidate.key() for e in contents.evaluations] == [
+            evaluation(i).candidate.key() for i in range(3)
+        ]
+
+    def test_repaired_journal_accepts_clean_appends(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = truncated_journal(path)
+        journal.resume(HEADER)
+        journal.append(evaluation(3))
+        contents = journal.load()
+        assert len(contents.evaluations) == 4
+        assert contents.dropped_lines == 0
+
+    def test_intact_journal_is_not_rewritten(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        journal.start(HEADER)
+        journal.append(evaluation(0))
+        stamp = path.read_bytes()
+        journal.resume(HEADER)
+        assert path.read_bytes() == stamp
+
+    def test_mismatched_header_still_rejected_after_repair(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = truncated_journal(path)
+        with pytest.raises(JournalError):
+            journal.resume({**HEADER, "seed": 99})

@@ -104,7 +104,12 @@ class TestRandomStrategy:
         assert len(order) == len(set(order))
 
     def test_terminates_when_space_exhausted(self):
-        order = drive(RandomStrategy(batch_size=8), space_of(2), budget=50, seed=0)
+        # Exhaustion now also raises the draw-shortfall warning (see
+        # TestDrawShortfall); termination is what this test pins down.
+        with pytest.warns(RuntimeWarning):
+            order = drive(
+                RandomStrategy(batch_size=8), space_of(2), budget=50, seed=0
+            )
         assert len(set(order)) <= 2
 
 
@@ -148,3 +153,55 @@ class TestEvolutionaryStrategy:
                 for parent in warm_dicts
             ]
             assert min(distances) == 1
+
+
+class TestDrawShortfall:
+    """Exhausted draw attempts must be reported, not silently swallowed."""
+
+    def test_random_reports_shortfall_on_tiny_space(self):
+        space = space_of(2)  # two candidates, batches of eight wanted
+        strategy = RandomStrategy(batch_size=8, max_attempts_per_draw=16)
+        with pytest.warns(RuntimeWarning, match="under-spend"):
+            order = drive(strategy, space, budget=10)
+        assert len(order) == 2
+        assert strategy.draw_shortfall > 0
+        assert strategy.describe()["draw_shortfall"] == strategy.draw_shortfall
+
+    def test_evolutionary_reports_shortfall_on_tiny_space(self):
+        space = space_of(2)
+        strategy = EvolutionaryStrategy(
+            population=8, objectives=(CYCLES,), max_attempts_per_draw=16
+        )
+        with pytest.warns(RuntimeWarning, match="short"):
+            order = drive(strategy, space, budget=10)
+        assert len(order) == 2
+        assert strategy.draw_shortfall > 0
+        assert strategy.describe()["draw_shortfall"] == strategy.draw_shortfall
+
+    def test_warning_emitted_once_per_run(self):
+        import warnings as warnings_module
+
+        space = space_of(2)
+        strategy = RandomStrategy(batch_size=8, max_attempts_per_draw=16)
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            drive(strategy, space, budget=20)
+        assert (
+            sum(issubclass(w.category, RuntimeWarning) for w in caught) == 1
+        )
+
+    def test_reset_clears_shortfall(self):
+        space = space_of(2)
+        strategy = RandomStrategy(batch_size=8, max_attempts_per_draw=16)
+        with pytest.warns(RuntimeWarning):
+            drive(strategy, space, budget=10)
+        strategy.reset(space, 0)
+        assert strategy.draw_shortfall == 0
+        assert strategy.describe()["draw_shortfall"] == 0
+
+    def test_full_batches_report_no_shortfall(self):
+        space = space_of(4, 4)  # sixteen candidates
+        strategy = RandomStrategy(batch_size=4, max_attempts_per_draw=64)
+        order = drive(strategy, space, budget=8)
+        assert len(order) == 8
+        assert strategy.draw_shortfall == 0

@@ -156,3 +156,39 @@ class TestPermutationSpec:
         geometry = BankGeometry(num_banks=12, bank_width_bytes=8, bank_depth=32)
         with pytest.raises(ValueError):
             permutation_spec(geometry, 12)
+
+
+class TestBatchDecode:
+    """decode_address_batch must equal decode_address element-wise."""
+
+    def test_matches_scalar_decode_for_every_mode(self):
+        import numpy as np
+
+        from repro.memory.addressing import decode_address_batch
+
+        geometry = BankGeometry(num_banks=64, bank_width_bytes=8, bank_depth=256)
+        addresses = np.arange(0, geometry.capacity_bytes, 37, dtype=np.int64)
+        for group_size in (64, 16, 4, 1):
+            banks, lines, offsets = decode_address_batch(
+                addresses, geometry, group_size
+            )
+            for i in (0, 1, 17, len(addresses) // 2, len(addresses) - 1):
+                scalar = decode_address(int(addresses[i]), geometry, group_size)
+                assert (
+                    int(banks[i]),
+                    int(lines[i]),
+                    int(offsets[i]),
+                ) == scalar.as_tuple()
+
+    def test_out_of_range_rejected(self):
+        import numpy as np
+
+        from repro.memory.addressing import decode_address_batch
+
+        geometry = BankGeometry(num_banks=4, bank_width_bytes=8, bank_depth=8)
+        with pytest.raises(ValueError):
+            decode_address_batch(
+                np.array([geometry.capacity_bytes]), geometry, 4
+            )
+        with pytest.raises(ValueError):
+            decode_address_batch(np.array([-1]), geometry, 4)

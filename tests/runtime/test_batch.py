@@ -85,3 +85,89 @@ class TestBaselineParity:
     def test_unknown_backend_raises(self):
         with pytest.raises(KeyError):
             get_backend("baseline:bogus")
+
+
+class TestCacheAccounting:
+    """BatchStats and ResultCache counters must agree after batch runs.
+
+    Screening goes through the cache's single counted lookup path (get),
+    so after any sequence of runs against one fresh cache:
+    hits match, misses match, and misses == executed + deduplicated.
+    """
+
+    def assert_consistent(self, runner, cache):
+        assert runner.stats.cache_hits == cache.hits
+        assert runner.stats.cache_misses == cache.misses
+        assert (
+            runner.stats.cache_misses
+            == runner.stats.executed + runner.stats.deduplicated
+        )
+
+    def test_cold_then_warm_batch(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = BatchRunner(cache=cache)
+        runner.run(make_jobs())
+        assert runner.stats.cache_hits == 0
+        assert runner.stats.cache_misses == len(WORKLOADS)
+        self.assert_consistent(runner, cache)
+        runner.run(make_jobs())
+        assert runner.stats.cache_hits == len(WORKLOADS)
+        self.assert_consistent(runner, cache)
+
+    def test_duplicates_screen_through_counted_path(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = BatchRunner(cache=cache)
+        job = SimJob(workload=WORKLOADS[0])
+        runner.run([job, job, job])
+        # Every occurrence is screened once: three counted misses, one
+        # execution, two dedups.
+        assert runner.stats.cache_misses == 3
+        assert runner.stats.executed == 1
+        assert runner.stats.deduplicated == 2
+        self.assert_consistent(runner, cache)
+        runner.run([job, job])
+        assert runner.stats.cache_hits == 2
+        self.assert_consistent(runner, cache)
+
+    def test_simulator_facade_counts_the_same_way(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        simulator = Simulator(cache=cache)
+        job = SimJob(workload=WORKLOADS[0])
+        simulator.simulate(job)
+        simulator.simulate(job)
+        simulator.simulate_many([job, SimJob(workload=WORKLOADS[1])])
+        assert simulator.stats.cache_hits == cache.hits == 2
+        assert simulator.stats.cache_misses == cache.misses == 2
+
+
+class TestWorkerNormalization:
+    def test_zero_workers_runs_in_process(self, monkeypatch):
+        """max_workers=0 must never reach the ProcessPoolExecutor."""
+        import concurrent.futures
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("ProcessPoolExecutor constructed for 0 workers")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", forbidden
+        )
+        runner = BatchRunner(max_workers=0)
+        outcomes = runner.run(make_jobs())
+        assert [o.workload_name for o in outcomes] == [w.name for w in WORKLOADS]
+        assert runner.stats.executed == len(WORKLOADS)
+
+    def test_zero_workers_through_simulator(self, monkeypatch):
+        import concurrent.futures
+
+        monkeypatch.setattr(
+            concurrent.futures,
+            "ProcessPoolExecutor",
+            lambda *a, **k: (_ for _ in ()).throw(AssertionError("pool used")),
+        )
+        simulator = Simulator(max_workers=0)
+        outcomes = simulator.simulate_many(make_jobs()[:2])
+        assert len(outcomes) == 2
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            BatchRunner(max_workers=-1)
