@@ -1,0 +1,141 @@
+"""Service benchmark: throughput + latency under a duplicate-heavy stream.
+
+Replays the traffic shape the service exists for — many clients asking for
+overlapping work: 50 submissions drawn from 5 unique small kernels (a
+20/10/10/5/5 duplicate mix), pushed through a 2-worker
+:class:`~repro.serve.client.ServiceClient` with a fresh result cache.
+
+Recorded in ``BENCH_serve.json`` at the repo root:
+
+* ``jobs_per_second`` — submissions completed per wall-clock second;
+* ``coalescing_hit_rate`` / ``cache_hit_rate`` / ``duplicate_work_avoided``
+  — how much of the stream never reached a backend;
+* ``latency`` — per-submission p50/p99/max seconds (submit → outcome).
+
+The hard functional bar (exactly ``unique`` backend executions for
+``total`` submissions) is enforced always — it is deterministic, not a
+timing claim.  Timing numbers are recorded, never gated, so a loaded CI
+machine cannot fail the build on noise.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import __version__
+from repro.runtime import ResultCache, SimJob
+from repro.serve import ServiceClient, ServiceConfig
+from repro.workloads import GemmWorkload
+
+#: Where BENCH_serve.json lands (override with REPRO_BENCH_OUT=<dir>).
+BENCH_OUT_DIR = Path(os.environ.get("REPRO_BENCH_OUT", Path(__file__).resolve().parent.parent))
+BENCH_PATH = BENCH_OUT_DIR / "BENCH_serve.json"
+
+#: The duplicate-heavy mix: (kernel dims, submissions of that kernel).
+MIX = (
+    ((16, 16, 16), 20),
+    ((16, 16, 32), 10),
+    ((24, 24, 16), 10),
+    ((32, 32, 16), 5),
+    ((8, 8, 64), 5),
+)
+
+
+def _jobs():
+    jobs = []
+    for (m, n, k), copies in MIX:
+        workload = GemmWorkload(name=f"bench_serve_{m}x{n}x{k}", m=m, n=n, k=k)
+        jobs.extend([SimJob(workload=workload)] * copies)
+    return jobs
+
+
+def _percentile(sorted_values, fraction):
+    index = min(len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+@pytest.fixture(scope="module")
+def bench_results(tmp_path_factory):
+    jobs = _jobs()
+    unique = len({job.job_hash() for job in jobs})
+    cache = ResultCache(tmp_path_factory.mktemp("serve-bench-cache"))
+    config = ServiceConfig(max_workers=2, max_backlog=len(jobs))
+    latencies = []
+    with ServiceClient(cache=cache, config=config) as client:
+        wall_start = time.perf_counter()
+        tickets = []
+        for job in jobs:
+            submit_time = time.perf_counter()
+            ticket = client.submit(job, client_name=f"bench{len(tickets) % 4}")
+            ticket._future.add_done_callback(
+                lambda _f, t0=submit_time: latencies.append(time.perf_counter() - t0)
+            )
+            tickets.append(ticket)
+        outcomes = [ticket.result(timeout=120) for ticket in tickets]
+        wall = time.perf_counter() - wall_start
+        stats = client.stats()
+
+    assert all(outcome.utilization > 0 for outcome in outcomes)
+    latencies.sort()
+    results = {
+        "package_version": __version__,
+        "workload_mix": [
+            {"kernel": f"{m}x{n}x{k}", "submissions": copies}
+            for (m, n, k), copies in MIX
+        ],
+        "submissions": len(jobs),
+        "unique_jobs": unique,
+        "executed": stats["executed"],
+        "coalesced": stats["coalesced"],
+        "cache_hits": stats["cache_hits"],
+        "coalescing_hit_rate": stats["coalescing_hit_rate"],
+        "cache_hit_rate": stats["cache_hit_rate"],
+        "duplicate_work_avoided": 1.0 - stats["executed"] / len(jobs),
+        "wall_seconds": wall,
+        "jobs_per_second": len(jobs) / wall,
+        "latency": {
+            "p50_seconds": _percentile(latencies, 0.50),
+            "p99_seconds": _percentile(latencies, 0.99),
+            "max_seconds": latencies[-1],
+            "samples": len(latencies),
+        },
+        "config": {"max_workers": config.max_workers, "max_backlog": config.max_backlog},
+    }
+    BENCH_OUT_DIR.mkdir(parents=True, exist_ok=True)
+    BENCH_PATH.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+    return results
+
+
+def test_duplicates_never_resimulate(bench_results):
+    """The functional bar: 50 submissions, exactly `unique` executions."""
+    assert bench_results["executed"] == bench_results["unique_jobs"]
+    assert bench_results["duplicate_work_avoided"] == pytest.approx(
+        1.0 - bench_results["unique_jobs"] / bench_results["submissions"]
+    )
+
+
+def test_stream_was_duplicate_heavy(bench_results):
+    """Every duplicate was absorbed by coalescing or the cache."""
+    absorbed = bench_results["coalesced"] + bench_results["cache_hits"]
+    expected = bench_results["submissions"] - bench_results["unique_jobs"]
+    assert absorbed == expected
+    assert bench_results["coalescing_hit_rate"] + bench_results["cache_hit_rate"] == (
+        pytest.approx(expected / bench_results["submissions"])
+    )
+
+
+def test_latency_distribution_recorded(bench_results):
+    latency = bench_results["latency"]
+    assert latency["samples"] == bench_results["submissions"]
+    assert 0 < latency["p50_seconds"] <= latency["p99_seconds"] <= latency["max_seconds"]
+    assert bench_results["jobs_per_second"] > 0
+
+
+def test_bench_report_written(bench_results):
+    data = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+    assert data["executed"] == bench_results["executed"]
+    assert data["latency"]["p99_seconds"] == bench_results["latency"]["p99_seconds"]
+    assert data["submissions"] == 50

@@ -20,6 +20,12 @@ Part 3 goes one step further: it hands the same runtime to the
 searches two design-time parameters jointly, printing the Pareto frontier
 over cycles and modelled energy.
 
+Part 4 runs a duplicate-heavy request burst through the asynchronous
+simulation service (docs/SERVE.md): identical in-flight submissions
+coalesce onto one backend simulation, lifecycle events stream back, and
+the service drains cleanly on close — including what happens when the
+bounded admission queue pushes back.
+
 Run with:  python examples/quickstart.py
 """
 
@@ -165,7 +171,44 @@ def part3_design_space_exploration():
         )
 
 
+def part4_simulation_service():
+    print("=" * 70)
+    print("Part 4: the asynchronous simulation service (see docs/SERVE.md)")
+    print("=" * 70)
+
+    from repro.serve import QueueFullError, ServiceClient, ServiceConfig
+
+    job = SimJob(
+        workload=GemmWorkload(name="quickstart_serve", m=32, n=32, k=32),
+        features=FeatureSet.all_enabled(),
+    )
+    config = ServiceConfig(max_workers=2, max_backlog=16)
+    with ServiceClient(config=config) as client:
+        # Submit → coalesce: a burst of identical jobs in one batch costs
+        # exactly one backend simulation; every caller gets the same outcome.
+        outcomes = client.run([job] * 8, client_name="quickstart")
+        stats = client.stats()
+        print(f"  submitted {stats['submitted']} identical jobs, "
+              f"simulated {stats['executed']}, coalesced {stats['coalesced']} "
+              f"(hit-rate {stats['coalescing_hit_rate']:.0%})")
+        print(f"  all callers share one outcome object: "
+              f"{all(o is outcomes[0] for o in outcomes)}")
+
+        # Stream: every lifecycle edge was announced as a ServiceEvent.
+        kinds = [event.kind for event in client.events()]
+        print(f"  event stream: {' -> '.join(dict.fromkeys(kinds))}")
+
+        # Backpressure: the admission queue is bounded.  submit() fails
+        # fast with a typed error; client.run()/submit_wait() would wait.
+        tiny = ServiceConfig(max_workers=1, max_backlog=16)
+        print(f"  backlog bound {tiny.max_backlog}: overflowing submit() "
+              f"raises {QueueFullError.__name__} (run() waits instead)")
+    # leaving the context drains: queued + running jobs finished first
+    print("  drained and closed cleanly")
+
+
 if __name__ == "__main__":
     part1_standalone_streamer()
     part2_full_system()
     part3_design_space_exploration()
+    part4_simulation_service()

@@ -2,10 +2,10 @@
 
 This package is a cycle-level, pure-Python reproduction of the DAC 2025 paper
 *DataMaestro: A Versatile and Efficient Data Streaming Engine Bringing
-Decoupled Memory Access To Dataflow Accelerators*.  ``docs/RUNTIME.md``
-documents the simulation-service layer; the per-module docstrings and the
-experiment reports record the paper-vs-measured comparison for every table
-and figure.
+Decoupled Memory Access To Dataflow Accelerators*.  ``docs/ARCHITECTURE.md``
+maps the package stack; ``docs/RUNTIME.md`` documents the simulation
+runtime; the per-module docstrings and the experiment reports record the
+paper-vs-measured comparison for every table and figure.
 
 Top-level convenience imports expose the most frequently used entry points;
 the sub-packages hold the full API:
@@ -16,9 +16,12 @@ the sub-packages hold the full API:
 * :mod:`repro.system` — the evaluation system (five DataMaestros + host);
 * :mod:`repro.compiler` — workload-to-CSR mapping, layouts and allocation;
 * :mod:`repro.workloads` — workload specs, the synthetic suite, DNN models;
-* :mod:`repro.runtime` — the simulation service: declarative jobs, the
+* :mod:`repro.runtime` — the simulation runtime: declarative jobs, the
   :class:`~repro.runtime.simulator.Simulator` facade, parallel batch
   execution and the on-disk result cache;
+* :mod:`repro.serve` — the asynchronous simulation service on top of the
+  runtime: request coalescing, fair bounded admission, streaming
+  lifecycle/progress events (``docs/SERVE.md``);
 * :mod:`repro.baselines` — SotA comparator models;
 * :mod:`repro.analysis` — metrics, ablation driver, area/power models;
 * :mod:`repro.explore` — multi-objective design-space exploration: search
@@ -40,7 +43,7 @@ from .core.params import FeatureSet, StreamerDesign, StreamerMode, StreamerRunti
 from .core.streamer import DataMaestro
 from .memory.addressing import AddressingMode, BankGeometry
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from .engine import DEFAULT_ENGINE, EVENT_ENGINE, LOCKSTEP_ENGINE, available_engines
 from .runtime import BatchRunner, SimJob, SimOutcome, Simulator, simulate

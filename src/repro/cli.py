@@ -18,6 +18,13 @@ Provides quick access to the main entry points without writing Python:
 * ``python -m repro.cli explore --space default --strategy grid --budget 18``
   — multi-objective design-space exploration with Pareto-frontier reporting,
   JSON/CSV export and journal-based resume (see ``docs/EXPLORE.md``);
+* ``python -m repro.cli serve gemm:64x64x64 --repeat 8 --clients 2 --events``
+  — run a workload stream through the asynchronous simulation service:
+  duplicate in-flight requests coalesce onto one simulation, admission is
+  fair and bounded, and lifecycle/progress events stream to stdout (see
+  ``docs/SERVE.md``);
+* ``python -m repro.cli cache info|prune|clear`` — inspect or bound the
+  on-disk result cache (``prune`` evicts least-recently-used entries);
 * ``python -m repro.cli selftest`` — tiny cached GeMM end-to-end smoke test;
 * ``python -m repro.cli suite-info`` — describe the synthetic ablation suite.
 
@@ -25,7 +32,8 @@ All simulation goes through :mod:`repro.runtime`; ``--jobs``, ``--cache-dir``
 and ``--no-cache`` control parallelism and result caching wherever they
 appear, and ``--engine {event,lockstep}`` selects the simulation engine
 (event-driven next-event scheduling vs the legacy per-cycle loop; see
-``docs/ENGINE.md``).
+``docs/ENGINE.md``).  ``docs/ARCHITECTURE.md`` maps every subcommand to the
+subsystem behind it.
 """
 
 from __future__ import annotations
@@ -510,6 +518,112 @@ def cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a workload stream through the asynchronous simulation service."""
+    from .serve import QueueFullError, ServiceClient, ServiceConfig
+
+    try:
+        workloads = [parse_workload_spec(spec) for spec in args.workloads]
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.backend not in available_backends():
+        print(
+            f"error: unknown backend {args.backend!r}; "
+            f"available: {available_backends()}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.repeat <= 0 or args.clients <= 0:
+        print("error: --repeat and --clients must be positive", file=sys.stderr)
+        return 2
+    if args.workers <= 0 or args.backlog <= 0 or args.progress_interval <= 0:
+        print(
+            "error: --workers, --backlog and --progress-interval must be positive",
+            file=sys.stderr,
+        )
+        return 2
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    config = ServiceConfig(
+        max_workers=args.workers,
+        max_backlog=args.backlog,
+        progress_interval=args.progress_interval,
+    )
+    features = _features_from_args(args)
+    jobs = [
+        SimJob(
+            workload=workload,
+            features=features,
+            backend=args.backend,
+            seed=args.seed,
+            engine=args.engine,
+        )
+        for workload in workloads
+        for _ in range(args.repeat)
+    ]
+    on_event = (lambda event: print(f"  {event.describe()}")) if args.events else None
+    client = ServiceClient(cache_dir=cache_dir, config=config, on_event=on_event)
+    try:
+        # Spread the stream round-robin over the simulated clients; the
+        # fair queue interleaves them, duplicates coalesce in-flight.
+        tickets = []
+        for index, job in enumerate(jobs):
+            name = f"client{index % args.clients}"
+            try:
+                tickets.append(client.submit(job, client_name=name))
+            except QueueFullError as error:
+                print(f"  backpressure: {error}", file=sys.stderr)
+                return 1
+        outcomes = [ticket.result() for ticket in tickets]
+    finally:
+        client.close(drain=True)
+    unique = {}
+    for outcome in outcomes:
+        unique.setdefault(outcome.job_hash, outcome)
+    _print_outcomes(
+        unique.values(), f"Service results ({len(jobs)} submissions, "
+        f"{len(unique)} unique jobs)"
+    )
+    stats = client.stats()
+    print(
+        f"service: {stats['submitted']} submitted, {stats['executed']} simulated, "
+        f"{stats['coalesced']} coalesced, {stats['cache_hits']} cache hits "
+        f"(coalescing hit-rate {stats['coalescing_hit_rate']:.0%}, "
+        f"workers {args.workers}, backlog {args.backlog})"
+    )
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect, prune or clear the on-disk result cache."""
+    from .runtime import ResultCache
+
+    cache = ResultCache(args.cache_dir or default_cache_dir())
+    if args.action == "info":
+        stats = cache.stats()
+        rows = [[key, value] for key, value in stats.items()]
+        print(format_table(["field", "value"], rows, title="Result cache"))
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} entries from {cache.directory}")
+        return 0
+    # prune
+    if args.max_entries is None and args.max_bytes is None:
+        print(
+            "error: cache prune needs --max-entries and/or --max-bytes",
+            file=sys.stderr,
+        )
+        return 2
+    report = cache.prune(max_entries=args.max_entries, max_bytes=args.max_bytes)
+    print(
+        f"pruned {report.removed} entries ({report.bytes_freed} bytes) from "
+        f"{cache.directory}; {report.remaining} entries "
+        f"({report.bytes_remaining} bytes) remain"
+    )
+    return 0
+
+
 def cmd_selftest(args: argparse.Namespace) -> int:
     """Run one tiny GeMM job end-to-end, twice, through a result cache."""
     cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="repro-selftest-")
@@ -736,6 +850,118 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--csv", default=None, metavar="PATH", help="write CSV report")
     _add_runtime_flags(explore, cache_default=True)
     explore.set_defaults(func=cmd_explore)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve a workload stream through the async simulation service "
+        "(see docs/SERVE.md)",
+    )
+    serve.add_argument(
+        "workloads",
+        nargs="+",
+        metavar="SPEC",
+        help="workload specs, e.g. gemm:64x64x64 or conv:16x16x16x32:k3:p1",
+    )
+    serve.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="submit each spec N times (duplicates coalesce in-flight; default: 1)",
+    )
+    serve.add_argument(
+        "--clients",
+        type=int,
+        default=1,
+        metavar="N",
+        help="spread submissions round-robin over N client names (default: 1)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent service worker threads (default: 2)",
+    )
+    serve.add_argument(
+        "--backlog",
+        type=int,
+        default=64,
+        metavar="N",
+        help="bounded admission-queue depth; overflowing it is rejected "
+        "with QueueFullError (default: 64)",
+    )
+    serve.add_argument(
+        "--progress-interval",
+        type=int,
+        default=250_000,
+        metavar="CYCLES",
+        help="cycle cadence of streaming progress events (default: 250000)",
+    )
+    serve.add_argument(
+        "--events",
+        action="store_true",
+        help="stream per-job lifecycle/progress events to stdout",
+    )
+    serve.add_argument(
+        "--backend",
+        default=DATAMAESTRO_BACKEND,
+        help="simulation backend (datamaestro or baseline:<slug>)",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--baseline", action="store_true", help="disable every DataMaestro feature"
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="result-cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-datamaestro)",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk result cache"
+    )
+    serve.add_argument(
+        "--engine",
+        choices=available_engines(),
+        default=DEFAULT_ENGINE,
+        help="simulation engine: 'event' skips provably idle cycles, "
+        "'lockstep' is the legacy per-cycle loop (see docs/ENGINE.md)",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect, prune or clear the on-disk result cache"
+    )
+    cache.add_argument(
+        "action",
+        choices=("info", "prune", "clear"),
+        help="info: show entry count/size; prune: evict least-recently-used "
+        "entries down to the given bounds; clear: delete every entry",
+    )
+    cache.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="result-cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-datamaestro)",
+    )
+    cache.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="prune: keep at most N entries",
+    )
+    cache.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="prune: keep at most BYTES of cached outcomes",
+    )
+    cache.set_defaults(func=cmd_cache)
 
     selftest = subparsers.add_parser(
         "selftest", help="tiny cached GeMM end-to-end smoke test"

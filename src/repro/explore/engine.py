@@ -160,14 +160,26 @@ class ExplorationEngine:
         backend: str = DATAMAESTRO_BACKEND,
         max_cycles: int = DEFAULT_CYCLE_BUDGET,
         sim_engine: str = DEFAULT_ENGINE,
+        service: Optional[object] = None,
     ) -> None:
+        """``service`` (a :class:`repro.serve.ServiceClient`) routes every
+        candidate batch through the shared simulation service, so several
+        concurrent explorations coalesce duplicate candidate evaluations
+        and share one scheduler and cache (``docs/SERVE.md``).  Pass either
+        ``service`` or a pre-configured ``simulator``, not both."""
         if not objectives:
             raise ValueError("at least one objective is required")
+        if service is not None and simulator is not None:
+            raise ValueError(
+                "pass either simulator or service, not both "
+                "(attach the service to the simulator instead: "
+                "Simulator(service=...))"
+            )
         self.space = space
         self.strategy = strategy
         self.objectives = list(objectives)
         self.workloads = list(workloads or default_exploration_workloads())
-        self.simulator = simulator or Simulator()
+        self.simulator = simulator or Simulator(service=service)
         self.seed = seed
         self.sim_seed = sim_seed
         self.backend = backend

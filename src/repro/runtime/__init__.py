@@ -31,8 +31,8 @@ from .backends import (
     get_backend,
     register_backend,
 )
-from .batch import BatchRunner, BatchStats, execute_job
-from .cache import CACHE_DIR_ENV, ResultCache, default_cache_dir
+from .batch import BatchRunner, BatchStats, execute_job, execute_job_with_progress
+from .cache import CACHE_DIR_ENV, PruneReport, ResultCache, default_cache_dir
 from .job import DATAMAESTRO_BACKEND, SimJob, canonical_encode, stable_digest
 from .outcome import SimOutcome
 from .simulator import Simulator, default_simulator, simulate
@@ -47,9 +47,11 @@ __all__ = [
     "SimulationBackend",
     "DataMaestroBackend",
     "BaselineModelBackend",
+    "PruneReport",
     "simulate",
     "default_simulator",
     "execute_job",
+    "execute_job_with_progress",
     "get_backend",
     "register_backend",
     "available_backends",

@@ -24,9 +24,10 @@ module never imports :mod:`repro.baselines` at module level.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from ..compiler.mapper import compile_workload
+from ..sim.runner import DEFAULT_PROGRESS_INTERVAL
 from ..system.system import AcceleratorSystem
 from .job import DATAMAESTRO_BACKEND, SimJob
 from .outcome import SimOutcome
@@ -44,6 +45,23 @@ class SimulationBackend:
     def execute(self, job: SimJob) -> SimOutcome:
         raise NotImplementedError
 
+    def execute_with_progress(
+        self,
+        job: SimJob,
+        progress_callback: Optional[Callable[[int], None]] = None,
+        progress_interval: int = DEFAULT_PROGRESS_INTERVAL,
+    ) -> SimOutcome:
+        """Execute ``job``, streaming cooperative progress where supported.
+
+        ``progress_callback`` receives the current cycle count roughly
+        every ``progress_interval`` simulated cycles (the simulation
+        engines' yield points — see ``docs/ENGINE.md``).  The base
+        implementation ignores the callback and just executes: backends
+        without a cycle loop (the analytic baselines, custom closed-form
+        models) have no meaningful progress to report.
+        """
+        return self.execute(job)
+
     def describe(self) -> Dict[str, object]:
         return {"name": self.name, "kind": type(self).__name__}
 
@@ -54,9 +72,23 @@ class DataMaestroBackend(SimulationBackend):
     name = DATAMAESTRO_BACKEND
 
     def execute(self, job: SimJob) -> SimOutcome:
+        return self.execute_with_progress(job)
+
+    def execute_with_progress(
+        self,
+        job: SimJob,
+        progress_callback: Optional[Callable[[int], None]] = None,
+        progress_interval: int = DEFAULT_PROGRESS_INTERVAL,
+    ) -> SimOutcome:
         program = compile_workload(job.workload, job.design, job.features, seed=job.seed)
         system = AcceleratorSystem(job.design)
-        result = system.run(program, max_cycles=job.max_cycles, engine=job.engine)
+        result = system.run(
+            program,
+            max_cycles=job.max_cycles,
+            engine=job.engine,
+            progress_callback=progress_callback,
+            progress_interval=progress_interval,
+        )
         functional = system.verify_outputs(result)
         return SimOutcome.from_result(job, result, functional_match=functional)
 

@@ -14,15 +14,18 @@
 With ``max_workers`` ≤ 1 (``0`` and ``None`` included) everything runs
 in-process — the fan-out path never hands a zero worker count to the
 ``ProcessPoolExecutor``; larger values fan the cache misses out over a
-process pool.
+process pool.  Alternatively, pass ``service=`` (a
+:class:`repro.serve.ServiceClient`) to execute the misses through the
+shared asynchronous simulation service (``docs/SERVE.md``) instead of a
+private pool.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
-from .backends import get_backend
+from .backends import DEFAULT_PROGRESS_INTERVAL, get_backend
 from .cache import ResultCache
 from .job import SimJob
 from .outcome import SimOutcome
@@ -33,6 +36,22 @@ def execute_job(job: SimJob) -> SimOutcome:
     return get_backend(job.backend).execute(job)
 
 
+def execute_job_with_progress(
+    job: SimJob,
+    progress_callback: Optional[Callable[[int], None]] = None,
+    progress_interval: int = DEFAULT_PROGRESS_INTERVAL,
+) -> SimOutcome:
+    """Like :func:`execute_job`, streaming engine progress where supported.
+
+    The simulation service's workers use this to turn the engines'
+    cooperative yield points into streaming ``progress`` events; backends
+    without a cycle loop silently ignore the callback.
+    """
+    return get_backend(job.backend).execute_with_progress(
+        job, progress_callback=progress_callback, progress_interval=progress_interval
+    )
+
+
 @dataclass
 class BatchStats:
     """Execution counters of one runner (accumulated across ``run`` calls).
@@ -41,33 +60,54 @@ class BatchStats:
     exactly: every screening lookup goes through the cache's counted
     ``get`` path, so after any number of runs against one fresh cache,
     ``cache.hits == stats.cache_hits`` and ``cache.misses ==
-    stats.cache_misses == stats.executed + stats.deduplicated``.
+    stats.cache_misses == stats.executed + stats.deduplicated +
+    stats.service_cache_hits``.
+
+    ``service_cache_hits`` only moves on the service path: local misses
+    that the shared service resolved from *its* cache (``outcome.cache_hit``
+    on the returned outcome) are counted there, not as ``executed`` — so
+    ``executed`` never claims simulations the service did not run for this
+    batch.  (A job coalesced onto another caller's in-flight simulation
+    still counts as ``executed``: it was simulated, once, on this batch's
+    behalf.)
     """
 
     executed: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     deduplicated: int = 0
+    service_cache_hits: int = 0
 
     def merge(self, other: "BatchStats") -> None:
         self.executed += other.executed
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.deduplicated += other.deduplicated
+        self.service_cache_hits += other.service_cache_hits
 
 
 class BatchRunner:
-    """Runs many jobs with caching, dedup and optional process-pool fan-out."""
+    """Runs many jobs with caching, dedup and optional process-pool fan-out.
+
+    ``service`` (a :class:`repro.serve.ServiceClient`) reroutes the
+    execution stage through the shared simulation service instead of a
+    private process pool: unique cache misses are submitted as one batch
+    (with cooperative backpressure) so concurrent runners coalesce
+    duplicate work and share the service's scheduler and cache.  Screening,
+    dedup, ordering and the :class:`BatchStats` counters are unchanged.
+    """
 
     def __init__(
         self,
         cache: Optional[ResultCache] = None,
         max_workers: Optional[int] = None,
+        service: Optional[object] = None,
     ) -> None:
         if max_workers is not None and max_workers < 0:
             raise ValueError("max_workers must be non-negative")
         self.cache = cache
         self.max_workers = max_workers
+        self.service = service
         self.stats = BatchStats()
 
     # ------------------------------------------------------------------
@@ -104,7 +144,14 @@ class BatchRunner:
                 outcomes[index] = outcome
                 if self.cache is not None:
                     self.cache.put(keys[index], outcome)
-            self.stats.executed += len(pending)
+            if self.service is not None:
+                # Outcomes the shared service pulled from its own cache were
+                # not simulated for this batch — keep `executed` honest.
+                served = sum(1 for outcome in fresh if outcome.cache_hit)
+                self.stats.service_cache_hits += served
+                self.stats.executed += len(pending) - served
+            else:
+                self.stats.executed += len(pending)
 
         # 3. Fan deduplicated / late cache consumers back out.
         for index, (key, outcome) in enumerate(zip(keys, outcomes)):
@@ -116,6 +163,9 @@ class BatchRunner:
 
     # ------------------------------------------------------------------
     def _execute(self, jobs: List[SimJob]) -> List[SimOutcome]:
+        if self.service is not None:
+            # One waiting batch through the shared service; order preserved.
+            return self.service.run(jobs)
         # 0 and None both normalize to in-process execution: the pool path
         # below must never see a non-positive worker count.
         workers = self.max_workers or 1

@@ -20,6 +20,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
 
@@ -89,6 +90,13 @@ class ResultCache:
             return None
         outcome.cache_hit = True
         self.hits += 1
+        # Touch the entry so prune()'s LRU-by-mtime ordering reflects *use*,
+        # not just creation (best-effort: a losing race with a concurrent
+        # prune only skips the touch).
+        try:
+            os.utime(path)
+        except OSError:
+            pass
         return outcome
 
     def put(self, key: str, outcome: SimOutcome) -> None:
@@ -108,6 +116,66 @@ class ResultCache:
                 pass
             raise
 
+    def prune(
+        self,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> "PruneReport":
+        """Evict least-recently-used entries until both bounds hold.
+
+        Recency is mtime: entries are touched on every counted ``get``, so
+        eviction order is least-recently-*served* first.  At least one
+        bound is required; ``max_entries`` caps the entry count and
+        ``max_bytes`` the total on-disk size of this version's directory.
+        A long-running service prunes periodically (or via ``python -m
+        repro.cli cache prune``) to keep unbounded on-disk growth — a real
+        deployment blocker — in check.
+
+        Entries that vanish mid-scan (concurrent prune/clear) are skipped.
+        """
+        if max_entries is None and max_bytes is None:
+            raise ValueError("prune needs max_entries and/or max_bytes")
+        if max_entries is not None and max_entries < 0:
+            raise ValueError("max_entries must be non-negative")
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        entries = []
+        for path in self.directory.glob("*.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, path, stat.st_size))
+        entries.sort()  # oldest mtime first = least recently used first
+        total_bytes = sum(size for _, _, size in entries)
+        removed = 0
+        bytes_freed = 0
+        while entries and (
+            (max_entries is not None and len(entries) > max_entries)
+            or (max_bytes is not None and total_bytes > max_bytes)
+        ):
+            _mtime, path, size = entries.pop(0)
+            path.unlink(missing_ok=True)
+            removed += 1
+            bytes_freed += size
+            total_bytes -= size
+        return PruneReport(
+            removed=removed,
+            remaining=len(entries),
+            bytes_freed=bytes_freed,
+            bytes_remaining=total_bytes,
+        )
+
+    def size_bytes(self) -> int:
+        """Total on-disk size of this version's entries."""
+        total = 0
+        for path in self.directory.glob("*.pkl"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
     def clear(self) -> int:
         """Delete every entry of this version; return how many were removed."""
         removed = 0
@@ -120,6 +188,17 @@ class ResultCache:
         return {
             "directory": str(self.directory),
             "entries": len(self),
+            "size_bytes": self.size_bytes(),
             "hits": self.hits,
             "misses": self.misses,
         }
+
+
+@dataclass(frozen=True)
+class PruneReport:
+    """What one :meth:`ResultCache.prune` call did."""
+
+    removed: int
+    remaining: int
+    bytes_freed: int
+    bytes_remaining: int

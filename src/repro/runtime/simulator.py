@@ -45,6 +45,13 @@ class Simulator:
     max_workers:
         Default process-pool width for :meth:`simulate_many` /
         :meth:`sweep`; ``None`` or ``1`` runs in-process.
+    service:
+        Optional :class:`repro.serve.ServiceClient`.  When set, batch
+        execution routes through the shared asynchronous simulation
+        service — one scheduler and one cache across DSE runs, sweeps and
+        ad-hoc calls, with duplicate in-flight requests coalesced — instead
+        of a private process pool (``max_workers`` is then ignored for
+        execution).  See ``docs/SERVE.md``.
     """
 
     def __init__(
@@ -52,24 +59,38 @@ class Simulator:
         cache: Optional[ResultCache] = None,
         cache_dir: Optional[Union[str, Path]] = None,
         max_workers: Optional[int] = None,
+        service: Optional[object] = None,
     ) -> None:
         if cache is None and cache_dir is not None:
             cache = ResultCache(Path(cache_dir).expanduser())
         self.cache = cache
         self.max_workers = max_workers
+        self.service = service
         self.stats = BatchStats()
 
     # ------------------------------------------------------------------
     def simulate(self, job: SimJob) -> SimOutcome:
-        """Execute one job (through the cache when one is configured)."""
+        """Execute one job (through the cache when one is configured).
+
+        With a ``service`` attached, the miss path submits to the shared
+        simulation service (coalescing with any identical in-flight
+        request) instead of executing in-process.
+        """
         if self.cache is not None:
             hit = self.cache.get(job.job_hash())
             if hit is not None:
                 self.stats.cache_hits += 1
                 return hit
             self.stats.cache_misses += 1
-        outcome = get_backend(job.backend).execute(job)
-        self.stats.executed += 1
+        if self.service is not None:
+            outcome = self.service.run([job])[0]
+            if outcome.cache_hit:
+                self.stats.service_cache_hits += 1
+            else:
+                self.stats.executed += 1
+        else:
+            outcome = get_backend(job.backend).execute(job)
+            self.stats.executed += 1
         if self.cache is not None:
             self.cache.put(job.job_hash(), outcome)
         return outcome
@@ -83,6 +104,7 @@ class Simulator:
         runner = BatchRunner(
             cache=self.cache,
             max_workers=self.max_workers if max_workers is None else max_workers,
+            service=self.service,
         )
         outcomes = runner.run(jobs)
         self.stats.merge(runner.stats)

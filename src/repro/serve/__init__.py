@@ -1,0 +1,58 @@
+"""``repro.serve`` — the asynchronous simulation service.
+
+PR 1–4 built the ingredients of a production-scale simulation system —
+hashable :class:`~repro.runtime.job.SimJob` descriptions, the on-disk
+:class:`~repro.runtime.cache.ResultCache`, batched execution and the
+event-driven engine.  This package is the front door that turns them into
+a *service*: a long-lived asyncio component that
+
+* **coalesces** identical in-flight requests onto one future (keyed by the
+  job hash), so a duplicate burst costs one simulation;
+* **admits** work through a bounded priority queue with per-client
+  fairness, rejecting overflow with the typed
+  :class:`~repro.serve.queue.QueueFullError` (explicit backpressure);
+* **probes the result cache before scheduling** and writes fresh results
+  back through it;
+* **streams** lifecycle and progress events
+  (:class:`~repro.serve.events.ServiceEvent`), with progress fed by the
+  simulation engines' cooperative yield points.
+
+Entry points:
+
+* :class:`SimulationService` — the asyncio core (``async with``);
+* :class:`ServiceClient` — blocking facade for scripts, tests and the CLI;
+* ``python -m repro.cli serve …`` — the CLI daemon;
+* ``Simulator(service=client)`` / ``BatchRunner(service=client)`` /
+  ``ExplorationEngine(service=client)`` — route existing call sites
+  through one shared scheduler and cache.
+
+See ``docs/SERVE.md`` for the full guide (including when to prefer the
+bare :class:`~repro.runtime.simulator.Simulator`) and
+``docs/ARCHITECTURE.md`` for where this layer sits in the package map.
+"""
+
+from .client import ClientTicket, ServiceClient
+from .events import EVENT_KINDS, EventSubscription, ServiceEvent
+from .queue import FairQueue, QueueFullError
+from .service import (
+    JobTicket,
+    ServiceClosedError,
+    ServiceConfig,
+    ServiceStats,
+    SimulationService,
+)
+
+__all__ = [
+    "ClientTicket",
+    "EVENT_KINDS",
+    "EventSubscription",
+    "FairQueue",
+    "JobTicket",
+    "QueueFullError",
+    "ServiceClient",
+    "ServiceClosedError",
+    "ServiceConfig",
+    "ServiceEvent",
+    "ServiceStats",
+    "SimulationService",
+]

@@ -1,0 +1,515 @@
+"""The asyncio simulation service: coalescing, fair admission, workers.
+
+:class:`SimulationService` is the long-lived front door the ROADMAP's
+"serves heavy traffic" goal asks for.  One service instance owns:
+
+* a **coalescing map** — identical in-flight requests (same
+  :meth:`SimJob.job_hash`) share one future, so a duplicate burst performs
+  exactly one backend simulation and every caller receives the *same*
+  :class:`~repro.runtime.outcome.SimOutcome` object;
+* a **fair bounded admission queue** (:class:`~repro.serve.queue.FairQueue`)
+  — priority first, round-robin across clients within a priority, FIFO
+  within a client; a full backlog raises the typed
+  :class:`~repro.serve.queue.QueueFullError` (or, on the ``submit_wait``
+  path, cooperatively waits for capacity);
+* a **cache-aware worker pool** — submissions are probed against the
+  :class:`~repro.runtime.cache.ResultCache` *before* they are scheduled, so
+  cache hits never occupy a worker, and every fresh result is written back
+  through the same cache;
+* a **streaming event bus** (:mod:`repro.serve.events`) — submitted /
+  coalesced / cache_hit / queued / started / progress / finished / failed /
+  cancelled lifecycle events, with ``progress`` fed by the simulation
+  engines' cooperative yield points (see ``docs/ENGINE.md``).
+
+The service is single-loop: every public method must be called on the
+event-loop thread (the sync :class:`~repro.serve.client.ServiceClient`
+wraps that for threads, scripts and tests).  Backend simulations run on a
+thread pool; pure-Python cycle simulation holds the GIL, so the win is
+coalescing + caching + overlap with I/O rather than parallel speedup —
+``docs/SERVE.md`` discusses when to use the service vs the bare
+``Simulator``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..runtime.batch import execute_job_with_progress
+from ..runtime.cache import ResultCache
+from ..runtime.job import SimJob
+from ..runtime.outcome import SimOutcome
+from .events import EventBus, EventSubscription, ServiceEvent
+from .queue import FairQueue, QueueFullError
+
+__all__ = [
+    "ServiceClosedError",
+    "ServiceConfig",
+    "ServiceStats",
+    "JobTicket",
+    "SimulationService",
+]
+
+
+class ServiceClosedError(RuntimeError):
+    """Raised when submitting to (or waiting on) a closed service."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one :class:`SimulationService`.
+
+    Parameters
+    ----------
+    max_workers:
+        Concurrent backend simulations (worker tasks and executor threads).
+    max_backlog:
+        Bound on *queued* (admitted, not yet started) jobs; exceeding it is
+        explicit backpressure: :class:`QueueFullError`.
+    max_backlog_per_client:
+        Optional per-client share of the backlog (``None`` = no extra bound).
+    progress_interval:
+        Cycle cadence of streaming ``progress`` events, forwarded to the
+        simulation engine's cooperative yield points.
+    """
+
+    max_workers: int = 2
+    max_backlog: int = 64
+    max_backlog_per_client: Optional[int] = None
+    progress_interval: int = 250_000
+
+    def __post_init__(self) -> None:
+        if self.max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        if self.progress_interval <= 0:
+            raise ValueError("progress_interval must be positive")
+
+
+@dataclass
+class ServiceStats:
+    """Counters of one service instance (monotonic over its lifetime)."""
+
+    submitted: int = 0
+    coalesced: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    cancelled: int = 0
+
+    @property
+    def coalescing_hit_rate(self) -> float:
+        """Fraction of submissions served by riding an in-flight duplicate."""
+        return self.coalesced / self.submitted if self.submitted else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.submitted if self.submitted else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "submitted": self.submitted,
+            "coalesced": self.coalesced,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "cancelled": self.cancelled,
+            "coalescing_hit_rate": self.coalescing_hit_rate,
+            "cache_hit_rate": self.cache_hit_rate,
+        }
+
+
+@dataclass
+class JobTicket:
+    """Receipt for one submission; ``await ticket.outcome()`` for the result."""
+
+    job: SimJob
+    job_hash: str
+    client: str
+    #: This submission attached to an identical in-flight job.
+    coalesced: bool
+    #: Resolved instantly from the result cache (never queued).
+    cache_hit: bool
+    future: "asyncio.Future[SimOutcome]"
+
+    async def outcome(self) -> SimOutcome:
+        return await self.future
+
+
+@dataclass
+class _Entry:
+    """One unique in-flight job (the unit the queue and workers see)."""
+
+    job: SimJob
+    key: str
+    client: str
+    priority: int
+    future: "asyncio.Future[SimOutcome]"
+    waiters: int = 1
+    started: bool = False
+
+
+class SimulationService:
+    """Async simulation front door: submit, coalesce, stream, drain.
+
+    Use as an async context manager, or call :meth:`start` / :meth:`close`
+    explicitly::
+
+        async with SimulationService(cache=ResultCache(path)) as service:
+            ticket = service.submit(job, client="alice")
+            outcome = await ticket.outcome()
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        self.cache = cache
+        self.config = config or ServiceConfig()
+        self.stats = ServiceStats()
+        self.events = EventBus()
+        self._queue: FairQueue[_Entry] = FairQueue(
+            self.config.max_backlog, self.config.max_backlog_per_client
+        )
+        self._inflight: Dict[str, _Entry] = {}
+        self._workers: List[asyncio.Task] = []
+        self._work_available: Optional[asyncio.Semaphore] = None
+        self._space_freed: Optional[asyncio.Condition] = None
+        self._executor = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._closed = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    async def start(self) -> "SimulationService":
+        """Spawn the worker pool (idempotent)."""
+        if self._started:
+            return self
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._loop = asyncio.get_running_loop()
+        self._work_available = asyncio.Semaphore(0)
+        self._space_freed = asyncio.Condition()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.max_workers, thread_name_prefix="repro-serve"
+        )
+        self._workers = [
+            asyncio.ensure_future(self._worker_loop(index))
+            for index in range(self.config.max_workers)
+        ]
+        self._started = True
+        return self
+
+    async def __aenter__(self) -> "SimulationService":
+        return await self.start()
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()
+
+    async def close(self, drain: bool = True) -> None:
+        """Shut down: refuse new work, settle in-flight work, stop workers.
+
+        With ``drain=True`` (the default) every admitted job — queued or
+        executing — runs to completion and resolves its waiters.  With
+        ``drain=False`` queued-but-unstarted entries are *cancelled* (their
+        waiters receive :class:`ServiceClosedError`) while entries already
+        executing on a worker still finish and resolve normally.
+        """
+        if not self._started or self._closed:
+            self._closed = True
+            self.events.close()
+            return
+        self._closed = True
+        # Wake any submit_wait callers parked on backpressure.
+        async with self._space_freed:
+            self._space_freed.notify_all()
+        if not drain:
+            for entry, client, _priority in self._queue.drain():
+                self._inflight.pop(entry.key, None)
+                self.stats.cancelled += 1
+                self.events.publish(
+                    "cancelled", entry.key, client, workload=entry.job.workload.name
+                )
+                if not entry.future.done():
+                    entry.future.set_exception(
+                        ServiceClosedError(
+                            f"service closed before job {entry.key[:12]} started"
+                        )
+                    )
+        # Wait for every remaining in-flight entry (queued ones too, when
+        # draining) to settle — exceptions included.
+        pending = [entry.future for entry in self._inflight.values()]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        for worker in self._workers:
+            worker.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self.events.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # Submission.
+    # ------------------------------------------------------------------
+    def submit(self, job: SimJob, client: str = "anon", priority: int = 0) -> JobTicket:
+        """Submit one job; never blocks.
+
+        Returns a :class:`JobTicket` whose future resolves to the outcome.
+        Raises :class:`QueueFullError` when the backlog bound is hit (use
+        :meth:`submit_wait` for cooperative backpressure instead) and
+        :class:`ServiceClosedError` after :meth:`close`.
+
+        Submissions made within one event-loop turn are atomic with respect
+        to the workers, so a burst of identical jobs submitted back-to-back
+        deterministically coalesces onto a single backend execution.
+        """
+        return self._submit(job, client, priority, record_rejection=True)
+
+    def _submit(
+        self, job: SimJob, client: str, priority: int, record_rejection: bool
+    ) -> JobTicket:
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        if not self._started:
+            raise ServiceClosedError("service not started (use 'async with' or start())")
+        key = job.job_hash()
+        workload = job.workload.name
+
+        # 1. Coalesce onto an identical in-flight job.
+        entry = self._inflight.get(key)
+        if entry is not None:
+            entry.waiters += 1
+            self.stats.submitted += 1
+            self.stats.coalesced += 1
+            self.events.publish("submitted", key, client, workload=workload)
+            self.events.publish("coalesced", key, client, workload=workload)
+            return JobTicket(job, key, client, True, False, entry.future)
+
+        # 2. Probe the result cache before scheduling anything.  The probe
+        # runs synchronously on the loop thread on purpose: submit() must
+        # stay await-free so one-turn bursts coalesce atomically, and a
+        # hit must resolve its ticket before the caller regains control.
+        # Entries are small pickles; the expensive side (the post-execution
+        # write-back) happens on the worker thread instead.
+        if self.cache is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                self.stats.submitted += 1
+                self.stats.cache_hits += 1
+                future: "asyncio.Future[SimOutcome]" = self._loop.create_future()
+                future.set_result(hit)
+                self.events.publish("submitted", key, client, workload=workload)
+                self.events.publish("cache_hit", key, client, workload=workload)
+                self.events.publish(
+                    "finished", key, client, workload=workload, waiters=1
+                )
+                return JobTicket(job, key, client, False, True, future)
+
+        # 3. Admit to the bounded queue (explicit backpressure on overflow).
+        entry = _Entry(
+            job=job,
+            key=key,
+            client=client,
+            priority=priority,
+            future=self._loop.create_future(),
+        )
+        # Failures are also reported via events; retrieving the exception
+        # here keeps abandoned tickets from warning at garbage collection.
+        entry.future.add_done_callback(
+            lambda f: f.exception() if not f.cancelled() else None
+        )
+        try:
+            self._queue.push(entry, client, priority)
+        except QueueFullError:
+            # Fail-fast submissions record the bounce; the waiting path
+            # (submit_wait) retries instead — that is backpressure, not a
+            # rejection, and it must not double-count the submission.
+            if record_rejection:
+                self.stats.submitted += 1
+                self.stats.rejected += 1
+                self.events.publish("submitted", key, client, workload=workload)
+                self.events.publish("rejected", key, client, workload=workload)
+            raise
+        self._inflight[key] = entry
+        self.stats.submitted += 1
+        self.events.publish("submitted", key, client, workload=workload)
+        self.events.publish("queued", key, client, workload=workload)
+        self._work_available.release()
+        return JobTicket(job, key, client, False, False, entry.future)
+
+    def _has_capacity(self, client: str) -> bool:
+        if len(self._queue) >= self.config.max_backlog:
+            return False
+        limit = self.config.max_backlog_per_client
+        return limit is None or self._queue.client_backlog(client) < limit
+
+    async def submit_wait(
+        self, job: SimJob, client: str = "anon", priority: int = 0
+    ) -> JobTicket:
+        """Like :meth:`submit`, but waits for backlog capacity instead of
+        raising :class:`QueueFullError` (coalesced and cached submissions
+        never wait)."""
+        while True:
+            try:
+                return self._submit(job, client, priority, record_rejection=False)
+            except QueueFullError:
+                async with self._space_freed:
+                    while not self._has_capacity(client) and not self._closed:
+                        await self._space_freed.wait()
+                if self._closed:
+                    raise ServiceClosedError("service closed while waiting for capacity")
+
+    async def run(
+        self,
+        jobs: Sequence[SimJob],
+        client: str = "anon",
+        priority: int = 0,
+    ) -> List[SimOutcome]:
+        """Submit a batch and await every outcome, in submission order.
+
+        Duplicates *within the batch* always coalesce (each unique job is
+        submitted before any other coroutine can run), and unique jobs use
+        the waiting submission path, so arbitrarily large batches flow
+        through the bounded backlog without rejection.
+        """
+        tickets: List[JobTicket] = []
+        for job in jobs:
+            tickets.append(await self.submit_wait(job, client=client, priority=priority))
+        return [await ticket.outcome() for ticket in tickets]
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    def subscribe(self) -> EventSubscription:
+        """Async-iterable stream of every subsequent service event."""
+        return self.events.subscribe()
+
+    def add_listener(self, listener) -> None:
+        """Register a sync callback invoked (on the loop thread) per event."""
+        self.events.add_listener(listener)
+
+    def backlog(self) -> int:
+        """Jobs admitted but not yet picked up by a worker."""
+        return len(self._queue)
+
+    def inflight(self) -> int:
+        """Unique jobs somewhere between admission and completion."""
+        return len(self._inflight)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "config": {
+                "max_workers": self.config.max_workers,
+                "max_backlog": self.config.max_backlog,
+                "max_backlog_per_client": self.config.max_backlog_per_client,
+                "progress_interval": self.config.progress_interval,
+            },
+            "cache": self.cache.stats() if self.cache is not None else None,
+            "backlog": self.backlog(),
+            "inflight": self.inflight(),
+            "stats": self.stats.as_dict(),
+        }
+
+    # ------------------------------------------------------------------
+    # Workers.
+    # ------------------------------------------------------------------
+    async def _worker_loop(self, index: int) -> None:
+        assert self._work_available is not None
+        while True:
+            await self._work_available.acquire()
+            popped = self._queue.pop()
+            async with self._space_freed:
+                self._space_freed.notify_all()
+            if popped is None:
+                continue  # entry was drained by a non-draining close
+            entry, _client, _priority = popped
+            entry.started = True
+            await self._execute_entry(entry)
+
+    async def _execute_entry(self, entry: _Entry) -> None:
+        self.events.publish(
+            "started", entry.key, entry.client, workload=entry.job.workload.name
+        )
+        progress = functools.partial(self._post_progress, entry)
+
+        def run_and_write_back() -> SimOutcome:
+            # Executed on the worker thread: the cache write-back happens
+            # here too, so pickle/disk latency never blocks the event loop
+            # (ResultCache.put is atomic, so a concurrent loop-thread probe
+            # sees either nothing or the complete entry).  A failing
+            # write-back is demoted to a warning — the simulation result
+            # exists and must reach its waiters.
+            outcome = execute_job_with_progress(
+                entry.job,
+                progress_callback=progress,
+                progress_interval=self.config.progress_interval,
+            )
+            if self.cache is not None:
+                try:
+                    self.cache.put(entry.key, outcome)
+                except Exception as error:  # noqa: BLE001 — best-effort cache
+                    import warnings
+
+                    warnings.warn(
+                        f"result-cache write-back failed for "
+                        f"{entry.key[:12]}: {error}",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+            return outcome
+
+        try:
+            outcome = await self._loop.run_in_executor(
+                self._executor, run_and_write_back
+            )
+        except Exception as error:  # noqa: BLE001 — surfaced to every waiter
+            self.stats.failed += 1
+            self._inflight.pop(entry.key, None)
+            self.events.publish(
+                "failed",
+                entry.key,
+                entry.client,
+                workload=entry.job.workload.name,
+                waiters=entry.waiters,
+                error=f"{type(error).__name__}: {error}",
+            )
+            if not entry.future.done():
+                entry.future.set_exception(error)
+            return
+        self.stats.executed += 1
+        self._inflight.pop(entry.key, None)
+        self.events.publish(
+            "finished",
+            entry.key,
+            entry.client,
+            workload=entry.job.workload.name,
+            waiters=entry.waiters,
+        )
+        if not entry.future.done():
+            entry.future.set_result(outcome)
+
+    def _post_progress(self, entry: _Entry, cycles: int) -> None:
+        """Engine yield point → event bus; called from an executor thread."""
+        self._loop.call_soon_threadsafe(self._emit_progress, entry, cycles)
+
+    def _emit_progress(self, entry: _Entry, cycles: int) -> None:
+        if not entry.future.done():
+            self.events.publish(
+                "progress",
+                entry.key,
+                entry.client,
+                workload=entry.job.workload.name,
+                cycles=cycles,
+            )

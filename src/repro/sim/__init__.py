@@ -8,12 +8,18 @@ from .result import (
     SimulationResult,
     weighted_utilization,
 )
-from .runner import CycleRunner, Steppable, run_to_completion
+from .runner import (
+    DEFAULT_PROGRESS_INTERVAL,
+    CycleRunner,
+    Steppable,
+    run_to_completion,
+)
 from .stats import StatCounters, StreamerStats, merge_counter_dicts
 from .trace import CycleTracer, TraceProbe, trace_streamer_occupancy
 
 __all__ = [
     "DEFAULT_CYCLE_BUDGET",
+    "DEFAULT_PROGRESS_INTERVAL",
     "CycleTracer",
     "TraceProbe",
     "trace_streamer_occupancy",

@@ -24,6 +24,11 @@ from typing import Callable, List, Optional, Protocol, Sequence
 
 from .result import DEFAULT_CYCLE_BUDGET
 
+#: Default cycle cadence of cooperative progress callbacks, shared by
+#: every surface that accepts one (CycleRunner, AcceleratorSystem.run,
+#: the engine protocol and the runtime backends).
+DEFAULT_PROGRESS_INTERVAL = 100_000
+
 
 class Steppable(Protocol):
     """Anything with a per-cycle ``step`` method."""
@@ -59,7 +64,7 @@ class CycleRunner:
         self,
         max_cycles: int = DEFAULT_CYCLE_BUDGET,
         progress_callback: Optional[Callable[[int], None]] = None,
-        progress_interval: int = 100_000,
+        progress_interval: int = DEFAULT_PROGRESS_INTERVAL,
         engine: Optional[str] = None,
     ) -> None:
         # Imported here to keep repro.sim free of a hard package-level

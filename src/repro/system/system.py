@@ -42,6 +42,7 @@ from ..core.streamer import DataMaestro
 from ..engine import DEFAULT_ENGINE, get_engine
 from ..memory.subsystem import MemorySubsystem
 from ..sim.result import DEFAULT_CYCLE_BUDGET, SimulationResult
+from ..sim.runner import DEFAULT_PROGRESS_INTERVAL
 from .design import (
     AcceleratorSystemDesign,
     PORT_NAMES,
@@ -297,6 +298,8 @@ class AcceleratorSystem:
         program: KernelProgram,
         max_cycles: int = DEFAULT_CYCLE_BUDGET,
         engine: str = DEFAULT_ENGINE,
+        progress_callback=None,
+        progress_interval: int = DEFAULT_PROGRESS_INTERVAL,
     ) -> SimulationResult:
         """Execute a compiled kernel and return its simulation result.
 
@@ -306,6 +309,12 @@ class AcceleratorSystem:
         also accepted (the engine benchmark uses this to time the event
         scheduler with macro-stepping disabled).  All variants produce
         identical results; see ``docs/ENGINE.md``.
+
+        ``progress_callback`` (called with the current cycle count roughly
+        every ``progress_interval`` simulated cycles) taps the engines'
+        cooperative yield points — the simulation service streams these as
+        ``progress`` events (``docs/SERVE.md``); bulk advances that cross
+        an interval boundary report once with the post-jump count.
         """
         self.load_program(program)
         assert self.memory is not None and self.dma is not None
@@ -315,6 +324,8 @@ class AcceleratorSystem:
             max_cycles=max_cycles,
             describe=f"kernel {program.name!r}",
             detail=self.deadlock_report,
+            progress_callback=progress_callback,
+            progress_interval=progress_interval,
         )
 
         streamer_stats = {

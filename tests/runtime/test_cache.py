@@ -109,3 +109,89 @@ class TestResultCache:
         assert stats["entries"] == 1
         assert cache.clear() == 1
         assert len(cache) == 0
+
+
+class TestPrune:
+    """LRU-by-mtime eviction (`prune`) — the long-running-service bound."""
+
+    @staticmethod
+    def _fill(cache, count):
+        """Store `count` analytic outcomes with strictly increasing mtimes."""
+        import os
+
+        from repro.runtime import SimOutcome
+
+        keys = []
+        for index in range(count):
+            job = SimJob(workload=GEMM, seed=index, backend="baseline:feather")
+            key = job.job_hash()
+            cache.put(
+                key,
+                SimOutcome.analytic(job, utilization=0.5, ideal_compute_cycles=64),
+            )
+            # Deterministic recency regardless of filesystem granularity.
+            os.utime(cache.path_for(key), (1000 + index, 1000 + index))
+            keys.append(key)
+        return keys
+
+    def test_prune_by_entries_evicts_oldest_first(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = self._fill(cache, 5)
+        report = cache.prune(max_entries=2)
+        assert report.removed == 3 and report.remaining == 2
+        assert [key in cache for key in keys] == [False, False, False, True, True]
+
+    def test_prune_by_bytes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = self._fill(cache, 4)
+        sizes = [cache.path_for(key).stat().st_size for key in keys]
+        report = cache.prune(max_bytes=sum(sizes[2:]))
+        assert report.removed == 2
+        assert report.bytes_freed == sum(sizes[:2])
+        assert report.bytes_remaining == sum(sizes[2:])
+        assert cache.size_bytes() == sum(sizes[2:])
+
+    def test_prune_both_bounds_apply(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._fill(cache, 6)
+        report = cache.prune(max_entries=5, max_bytes=0)
+        assert report.removed == 6  # the tighter (bytes) bound wins
+        assert len(cache) == 0
+
+    def test_counted_get_refreshes_recency(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path)
+        keys = self._fill(cache, 3)
+        # Serve the oldest entry, then re-age the others around it: the
+        # touched entry must survive an entries=1 prune.
+        assert cache.get(keys[0]) is not None
+        os.utime(cache.path_for(keys[1]), (500, 500))
+        os.utime(cache.path_for(keys[2]), (501, 501))
+        cache.prune(max_entries=1)
+        assert keys[0] in cache
+        assert keys[1] not in cache and keys[2] not in cache
+
+    def test_prune_requires_a_bound(self, tmp_path):
+        import pytest
+
+        cache = ResultCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.prune()
+        with pytest.raises(ValueError):
+            cache.prune(max_entries=-1)
+        with pytest.raises(ValueError):
+            cache.prune(max_bytes=-5)
+
+    def test_prune_noop_within_bounds(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._fill(cache, 2)
+        report = cache.prune(max_entries=10, max_bytes=10**9)
+        assert report.removed == 0 and report.bytes_freed == 0
+        assert report.remaining == 2
+        assert len(cache) == 2
+
+    def test_stats_reports_size_bytes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._fill(cache, 2)
+        assert cache.stats()["size_bytes"] == cache.size_bytes() > 0

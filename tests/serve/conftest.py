@@ -1,0 +1,72 @@
+"""Shared fixtures of the service test suite.
+
+The service tests need backends whose behaviour they control exactly —
+counting executions, blocking until released, raising on demand — so the
+suite registers throwaway :class:`SimulationBackend` stubs (unique name
+per test) instead of monkeypatching the real cycle simulator.
+"""
+
+import itertools
+import threading
+
+import pytest
+
+from repro.runtime import SimJob, SimOutcome, register_backend
+from repro.runtime.backends import SimulationBackend
+from repro.workloads import GemmWorkload
+
+_COUNTER = itertools.count()
+
+
+class StubBackend(SimulationBackend):
+    """Controllable backend: counts calls, optionally blocks or raises.
+
+    ``gate`` (a ``threading.Event``) makes every execution wait until the
+    test releases it — the deterministic way to hold jobs "in flight".
+    ``error`` makes executions raise that exception instance.
+    """
+
+    def __init__(self, name, gate=None, error=None):
+        self.name = name
+        self.gate = gate
+        self.error = error
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def execute(self, job):
+        with self._lock:
+            self.calls += 1
+        if self.gate is not None:
+            assert self.gate.wait(timeout=10), "test gate never released"
+        if self.error is not None:
+            raise self.error
+        ideal = job.workload.ideal_compute_cycles(
+            job.design.gemm_mu, job.design.gemm_nu, job.design.gemm_ku
+        )
+        return SimOutcome.analytic(job, utilization=0.5, ideal_compute_cycles=ideal)
+
+
+@pytest.fixture
+def stub_backend():
+    """Factory registering a uniquely named :class:`StubBackend`."""
+
+    def make(gate=None, error=None):
+        backend = StubBackend(f"serve-stub-{next(_COUNTER)}", gate=gate, error=error)
+        register_backend(backend)
+        return backend
+
+    return make
+
+
+@pytest.fixture
+def make_job():
+    """Factory for small distinct jobs against a given backend."""
+
+    def make(backend_name, tag=0, m=8):
+        return SimJob(
+            workload=GemmWorkload(name=f"serve_{tag}", m=m, n=8, k=8),
+            backend=backend_name,
+            seed=tag,
+        )
+
+    return make

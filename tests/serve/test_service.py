@@ -1,0 +1,406 @@
+"""Edge-case tests of the asyncio service core.
+
+Each test drives :class:`SimulationService` inside ``asyncio.run`` (no
+pytest-asyncio dependency).  The determinism lever used throughout: calls
+to ``submit`` within one coroutine turn are atomic with respect to the
+workers, so duplicate bursts coalesce reproducibly, and a
+``threading.Event`` gate in the stub backend holds jobs "in flight" for
+exactly as long as a test needs.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.runtime import ResultCache, SimJob
+from repro.serve import (
+    QueueFullError,
+    ServiceClosedError,
+    ServiceConfig,
+    SimulationService,
+)
+from repro.workloads import GemmWorkload
+
+
+async def until(predicate, timeout=10.0):
+    """Poll ``predicate`` on the loop until true (or fail the test)."""
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not predicate():
+        assert asyncio.get_running_loop().time() < deadline, "condition never held"
+        await asyncio.sleep(0.005)
+
+
+class TestCoalescing:
+    def test_duplicate_burst_single_execution(self, stub_backend, make_job):
+        backend = stub_backend()
+        job = make_job(backend.name)
+
+        async def scenario():
+            async with SimulationService(config=ServiceConfig(max_workers=4)) as service:
+                # One loop turn, 50 submissions: the burst the acceptance
+                # criterion describes.
+                tickets = [service.submit(job, client=f"c{i}") for i in range(50)]
+                outcomes = [await ticket.outcome() for ticket in tickets]
+                return tickets, outcomes, service.stats
+
+        tickets, outcomes, stats = asyncio.run(scenario())
+        assert backend.calls == 1
+        assert stats.executed == 1
+        assert stats.submitted == 50
+        assert stats.coalesced == 49
+        assert stats.coalescing_hit_rate == pytest.approx(49 / 50)
+        # Every caller receives the *identical* outcome object.
+        assert all(outcome is outcomes[0] for outcome in outcomes)
+        assert tickets[0].coalesced is False
+        assert all(ticket.coalesced for ticket in tickets[1:])
+
+    def test_distinct_jobs_do_not_coalesce(self, stub_backend, make_job):
+        backend = stub_backend()
+        jobs = [make_job(backend.name, tag=i) for i in range(3)]
+
+        async def scenario():
+            async with SimulationService() as service:
+                return await service.run(jobs)
+
+        outcomes = asyncio.run(scenario())
+        assert backend.calls == 3
+        assert [o.job_hash for o in outcomes] == [j.job_hash() for j in jobs]
+
+    def test_coalesced_events_emitted(self, stub_backend, make_job):
+        backend = stub_backend()
+        job = make_job(backend.name)
+
+        async def scenario():
+            async with SimulationService() as service:
+                events = []
+                service.add_listener(events.append)
+                tickets = [service.submit(job) for _ in range(3)]
+                await tickets[-1].outcome()
+                return events
+
+        events = asyncio.run(scenario())
+        kinds = [event.kind for event in events]
+        assert kinds.count("submitted") == 3
+        assert kinds.count("coalesced") == 2
+        assert kinds.count("started") == 1
+        finished = [e for e in events if e.kind == "finished"]
+        assert len(finished) == 1 and finished[0].waiters == 3
+        # Sequence numbers are the total order.
+        assert [e.seq for e in events] == sorted(e.seq for e in events)
+
+
+class TestBackpressure:
+    def test_queue_full_rejection(self, stub_backend, make_job):
+        backend = stub_backend()
+        jobs = [make_job(backend.name, tag=i) for i in range(3)]
+        events = []
+
+        async def scenario():
+            config = ServiceConfig(max_workers=1, max_backlog=2)
+            async with SimulationService(config=config) as service:
+                service.add_listener(events.append)
+                # Single turn: no worker has popped yet, so the backlog
+                # holds the first two and the third must bounce.
+                service.submit(jobs[0])
+                service.submit(jobs[1])
+                with pytest.raises(QueueFullError) as excinfo:
+                    service.submit(jobs[2])
+                assert excinfo.value.limit == 2
+                assert service.stats.rejected == 1
+
+        asyncio.run(scenario())
+        assert "rejected" in [e.kind for e in events]
+
+    def test_duplicates_bypass_the_queue(self, stub_backend, make_job):
+        backend = stub_backend()
+        job = make_job(backend.name)
+
+        async def scenario():
+            config = ServiceConfig(max_workers=1, max_backlog=1)
+            async with SimulationService(config=config) as service:
+                service.submit(job)
+                # Backlog is now full, but identical submissions coalesce
+                # without needing a queue slot.
+                for _ in range(5):
+                    service.submit(job)
+                assert service.stats.rejected == 0
+
+        asyncio.run(scenario())
+
+    def test_submit_wait_flows_through_small_backlog(self, stub_backend, make_job):
+        backend = stub_backend()
+        jobs = [make_job(backend.name, tag=i) for i in range(6)]
+
+        async def scenario():
+            config = ServiceConfig(max_workers=1, max_backlog=1)
+            async with SimulationService(config=config) as service:
+                outcomes = await service.run(jobs)
+                return outcomes, service.stats.rejected
+
+        outcomes, rejected = asyncio.run(scenario())
+        assert len(outcomes) == 6
+        assert rejected == 0
+        assert backend.calls == 6
+
+
+class TestFailure:
+    def test_crash_surfaces_original_exception_to_all_waiters(
+        self, stub_backend, make_job
+    ):
+        boom = RuntimeError("backend exploded")
+        backend = stub_backend(error=boom)
+        job = make_job(backend.name)
+
+        async def scenario():
+            async with SimulationService() as service:
+                events = []
+                service.add_listener(events.append)
+                tickets = [service.submit(job, client=f"c{i}") for i in range(5)]
+                errors = []
+                for ticket in tickets:
+                    with pytest.raises(RuntimeError) as excinfo:
+                        await ticket.outcome()
+                    errors.append(excinfo.value)
+                return errors, events, service.stats.failed
+
+        errors, events, failed = asyncio.run(scenario())
+        assert backend.calls == 1
+        assert failed == 1
+        # Every coalesced waiter sees the *original* exception object.
+        assert all(error is boom for error in errors)
+        failed_events = [e for e in events if e.kind == "failed"]
+        assert len(failed_events) == 1
+        assert failed_events[0].waiters == 5
+        assert "backend exploded" in failed_events[0].error
+
+    def test_failure_is_not_cached(self, stub_backend, make_job, tmp_path):
+        boom = ValueError("nope")
+        backend = stub_backend(error=boom)
+        job = make_job(backend.name)
+        cache = ResultCache(tmp_path)
+
+        async def scenario():
+            async with SimulationService(cache=cache) as service:
+                with pytest.raises(ValueError):
+                    await (service.submit(job)).outcome()
+
+        asyncio.run(scenario())
+        assert len(cache) == 0
+
+
+class TestCache:
+    def test_probe_before_scheduling(self, stub_backend, make_job, tmp_path):
+        backend = stub_backend()
+        job = make_job(backend.name)
+        cache = ResultCache(tmp_path)
+
+        async def warm():
+            async with SimulationService(cache=cache) as service:
+                await (service.submit(job)).outcome()
+
+        asyncio.run(warm())
+        assert backend.calls == 1
+
+        async def served_from_cache():
+            async with SimulationService(cache=cache) as service:
+                events = []
+                service.add_listener(events.append)
+                ticket = service.submit(job)
+                assert ticket.cache_hit is True
+                outcome = await ticket.outcome()
+                return outcome, events, service.stats
+
+        outcome, events, stats = asyncio.run(served_from_cache())
+        assert backend.calls == 1  # nothing re-simulated
+        assert outcome.cache_hit is True
+        assert stats.cache_hits == 1 and stats.executed == 0
+        kinds = [e.kind for e in events]
+        assert kinds == ["submitted", "cache_hit", "finished"]
+
+    def test_fresh_results_written_back(self, stub_backend, make_job, tmp_path):
+        backend = stub_backend()
+        job = make_job(backend.name)
+        cache = ResultCache(tmp_path)
+
+        async def scenario():
+            async with SimulationService(cache=cache) as service:
+                await (service.submit(job)).outcome()
+
+        asyncio.run(scenario())
+        assert job.job_hash() in cache
+
+
+class TestShutdown:
+    def test_drain_completes_inflight_and_queued(self, stub_backend, make_job):
+        gate = threading.Event()
+        backend = stub_backend(gate=gate)
+        jobs = [make_job(backend.name, tag=i) for i in range(3)]
+
+        async def scenario():
+            config = ServiceConfig(max_workers=1)
+            service = await SimulationService(config=config).start()
+            tickets = [service.submit(job) for job in jobs]
+            await until(lambda: backend.calls >= 1)  # first job on the worker
+            closer = asyncio.ensure_future(service.close(drain=True))
+            await asyncio.sleep(0.02)
+            assert not closer.done()  # close waits for the gated backend
+            gate.set()
+            await closer
+            outcomes = [await ticket.outcome() for ticket in tickets]
+            return outcomes, service.stats
+
+        outcomes, stats = asyncio.run(scenario())
+        assert backend.calls == 3  # queued jobs ran to completion too
+        assert stats.cancelled == 0
+        assert len(outcomes) == 3
+
+    def test_non_draining_close_cancels_queued_but_finishes_running(
+        self, stub_backend, make_job
+    ):
+        gate = threading.Event()
+        backend = stub_backend(gate=gate)
+        jobs = [make_job(backend.name, tag=i) for i in range(3)]
+
+        async def scenario():
+            config = ServiceConfig(max_workers=1)
+            service = await SimulationService(config=config).start()
+            events = []
+            service.add_listener(events.append)
+            tickets = [service.submit(job) for job in jobs]
+            await until(lambda: backend.calls >= 1)  # job 0 is executing
+            closer = asyncio.ensure_future(service.close(drain=False))
+            await asyncio.sleep(0.02)
+            gate.set()
+            await closer
+            first = await tickets[0].outcome()  # running job resolved
+            cancelled_errors = []
+            for ticket in tickets[1:]:
+                with pytest.raises(ServiceClosedError):
+                    await ticket.outcome()
+                cancelled_errors.append(True)
+            return first, cancelled_errors, events, service.stats
+
+        first, cancelled, events, stats = asyncio.run(scenario())
+        assert backend.calls == 1  # queued jobs never ran
+        assert first is not None
+        assert len(cancelled) == 2
+        assert stats.cancelled == 2
+        assert [e.kind for e in events].count("cancelled") == 2
+
+    def test_submit_after_close_raises(self, stub_backend, make_job):
+        backend = stub_backend()
+        job = make_job(backend.name)
+
+        async def scenario():
+            service = await SimulationService().start()
+            await service.close()
+            with pytest.raises(ServiceClosedError):
+                service.submit(job)
+
+        asyncio.run(scenario())
+
+    def test_close_idempotent(self):
+        async def scenario():
+            service = await SimulationService().start()
+            await service.close()
+            await service.close()
+            assert service.closed
+
+        asyncio.run(scenario())
+
+
+class TestProgress:
+    def test_progress_events_stream_from_engine_yield_points(self):
+        # A real cycle-level job with a tiny progress cadence: the lockstep
+        # loop fires the callback every `progress_interval` cycles.
+        job = SimJob(
+            workload=GemmWorkload(name="serve_progress", m=16, n=16, k=16),
+            engine="lockstep",
+        )
+
+        async def scenario():
+            config = ServiceConfig(max_workers=1, progress_interval=4)
+            async with SimulationService(config=config) as service:
+                events = []
+                service.add_listener(events.append)
+                outcome = await (service.submit(job)).outcome()
+                # Let any progress callbacks queued via call_soon_threadsafe
+                # land before asserting.
+                await asyncio.sleep(0.05)
+                return outcome, events
+
+        outcome, events = asyncio.run(scenario())
+        progress = [e for e in events if e.kind == "progress"]
+        assert progress, "no progress events at a 4-cycle cadence"
+        cycles = [e.cycles for e in progress]
+        assert cycles == sorted(cycles)
+        assert all(c >= 1 for c in cycles)
+        assert outcome.functional_match is True
+
+
+class TestSubscription:
+    def test_async_subscription_sees_lifecycle(self, stub_backend, make_job):
+        backend = stub_backend()
+        job = make_job(backend.name)
+
+        async def scenario():
+            async with SimulationService() as service:
+                subscription = service.subscribe()
+                await (service.submit(job)).outcome()
+                await service.close()  # ends the stream
+                return [event.kind async for event in subscription]
+
+        kinds = asyncio.run(scenario())
+        assert kinds[:2] == ["submitted", "queued"]
+        assert "started" in kinds and "finished" in kinds
+
+
+class TestRobustness:
+    """Regressions: observers and cache failures must never strand waiters."""
+
+    def test_raising_listener_does_not_break_the_service(self, stub_backend, make_job):
+        backend = stub_backend()
+        job = make_job(backend.name)
+
+        async def scenario():
+            async with SimulationService() as service:
+                service.add_listener(lambda event: (_ for _ in ()).throw(
+                    BrokenPipeError("consumer went away")
+                ))
+                received = []
+                service.add_listener(received.append)
+                outcome = await (service.submit(job)).outcome()
+                return outcome, received
+
+        outcome, received = asyncio.run(scenario())
+        assert outcome is not None
+        # The healthy listener behind the raising one still saw everything.
+        assert "finished" in [e.kind for e in received]
+
+    def test_cache_write_back_failure_still_resolves_waiters(
+        self, stub_backend, make_job, tmp_path
+    ):
+        backend = stub_backend()
+        job = make_job(backend.name)
+
+        class ExplodingCache(ResultCache):
+            def put(self, key, outcome):
+                raise OSError("disk full")
+
+        cache = ExplodingCache(tmp_path)
+
+        async def scenario():
+            async with SimulationService(cache=cache) as service:
+                import warnings
+
+                with warnings.catch_warnings(record=True) as caught:
+                    warnings.simplefilter("always")
+                    tickets = [service.submit(job) for _ in range(3)]
+                    outcomes = [await t.outcome() for t in tickets]
+                return outcomes, [str(w.message) for w in caught]
+
+        outcomes, messages = asyncio.run(scenario())
+        assert backend.calls == 1
+        assert all(o is outcomes[0] for o in outcomes)  # waiters all served
+        assert any("write-back failed" in message for message in messages)

@@ -239,3 +239,82 @@ class TestSelftest:
         out = capsys.readouterr().out
         assert "selftest ok" in out
         assert "[ok] second run served from cache" in out
+
+
+class TestServe:
+    def test_serve_coalesces_duplicate_stream(self, tmp_path, capsys):
+        argv = [
+            "serve",
+            "gemm:16x16x16",
+            "--repeat",
+            "6",
+            "--clients",
+            "2",
+            "--cache-dir",
+            str(tmp_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "6 submitted" in out
+        assert "1 simulated" in out
+        assert "coalescing hit-rate" in out
+
+    def test_serve_events_stream(self, capsys):
+        argv = ["serve", "gemm:8x8x8", "--repeat", "2", "--no-cache", "--events"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "submitted" in out and "finished" in out
+
+    def test_serve_warm_cache_second_run(self, tmp_path, capsys):
+        argv = ["serve", "gemm:16x16x16", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 simulated" in out and "1 cache hits" in out
+
+    def test_serve_rejects_bad_spec_and_bad_backend(self, capsys):
+        assert main(["serve", "gemm:banana", "--no-cache"]) == 2
+        capsys.readouterr()
+        assert main(["serve", "gemm:8x8x8", "--backend", "nope", "--no-cache"]) == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_serve_rejects_non_positive_repeat(self, capsys):
+        assert main(["serve", "gemm:8x8x8", "--repeat", "0", "--no-cache"]) == 2
+        assert "--repeat" in capsys.readouterr().err
+
+    def test_serve_rejects_non_positive_workers_and_backlog(self, capsys):
+        assert main(["serve", "gemm:8x8x8", "--workers", "0", "--no-cache"]) == 2
+        assert "--workers" in capsys.readouterr().err
+        assert main(["serve", "gemm:8x8x8", "--backlog", "0", "--no-cache"]) == 2
+        capsys.readouterr()
+
+
+class TestCacheCommand:
+    def _warm(self, tmp_path):
+        assert main(["batch", "gemm:8x8x8", "gemm:8x8x16", "--cache-dir", str(tmp_path)]) == 0
+
+    def test_cache_info(self, tmp_path, capsys):
+        self._warm(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "size_bytes" in out
+
+    def test_cache_prune_by_entries(self, tmp_path, capsys):
+        self._warm(tmp_path)
+        capsys.readouterr()
+        argv = ["cache", "prune", "--cache-dir", str(tmp_path), "--max-entries", "1"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 entries" in out and "1 entries" in out
+
+    def test_cache_prune_requires_a_bound(self, tmp_path, capsys):
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path)]) == 2
+        assert "--max-entries and/or --max-bytes" in capsys.readouterr().err
+
+    def test_cache_clear(self, tmp_path, capsys):
+        self._warm(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "cleared 2 entries" in capsys.readouterr().out

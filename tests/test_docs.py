@@ -1,0 +1,164 @@
+"""Doc-drift gates: links, anchors, CLI/docs agreement, knob coverage.
+
+These tests make documentation rot a build failure:
+
+* every relative link and ``#anchor`` in ``docs/`` and the repo-level
+  markdown files must resolve (``tools/check_doc_links.py``);
+* every CLI subcommand must be documented — in the ``repro.cli`` module
+  docstring and in the ``docs/ARCHITECTURE.md`` CLI table — and carry
+  parser help text;
+* the runtime knobs (env vars, cycle budget) must appear in the single
+  knob table ``docs/ARCHITECTURE.md`` maintains;
+* every page under ``docs/`` must be reachable from the architecture map.
+"""
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro.cli as cli
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS = REPO_ROOT / "docs"
+CHECKER = REPO_ROOT / "tools" / "check_doc_links.py"
+
+
+def subcommands():
+    """Name → subparser for every CLI subcommand."""
+    parser = cli.build_parser()
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return dict(action.choices)
+    raise AssertionError("CLI has no subparsers")
+
+
+class TestLinkChecker:
+    def test_repo_docs_have_no_broken_links(self):
+        result = subprocess.run(
+            [sys.executable, str(CHECKER)],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        assert result.returncode == 0, result.stderr or result.stdout
+
+    def test_checker_catches_broken_link_and_anchor(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "a.md").write_text(
+            "# Title\n\nsee [missing](nope.md) and [bad](b.md#no-such-heading)\n",
+            encoding="utf-8",
+        )
+        (tmp_path / "docs" / "b.md").write_text("# Real Heading\n", encoding="utf-8")
+        result = subprocess.run(
+            [sys.executable, str(CHECKER), "--root", str(tmp_path)],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 1
+        assert "nope.md" in result.stderr
+        assert "no-such-heading" in result.stderr
+
+    def test_checker_accepts_valid_anchor_and_ignores_code(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "a.md").write_text(
+            "# One\n\n[ok](#two-words)\n\n```\n[not a link](ghost.md)\n```\n\n"
+            "## Two words\n",
+            encoding="utf-8",
+        )
+        result = subprocess.run(
+            [sys.executable, str(CHECKER), "--root", str(tmp_path)],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr
+
+
+class TestCliDocDrift:
+    def test_every_subcommand_in_cli_docstring(self):
+        for name in subcommands():
+            assert name in cli.__doc__, (
+                f"subcommand {name!r} missing from the repro.cli module "
+                f"docstring — update the command list"
+            )
+
+    def test_every_subcommand_in_architecture_table(self):
+        text = (DOCS / "ARCHITECTURE.md").read_text(encoding="utf-8")
+        for name in subcommands():
+            assert f"`{name}`" in text, (
+                f"subcommand {name!r} missing from the CLI table in "
+                f"docs/ARCHITECTURE.md"
+            )
+
+    def test_every_subcommand_has_help_text(self):
+        parser = cli.build_parser()
+        for action in parser._actions:
+            if not isinstance(action, argparse._SubParsersAction):
+                continue
+            helps = {
+                choice.dest: choice.help for choice in action._choices_actions
+            }
+            for name in action.choices:
+                assert helps.get(name), f"subcommand {name!r} has no help text"
+
+    def test_engine_choices_match_docs_claim(self):
+        """RUNTIME.md/ENGINE.md promise --engine {event,lockstep} everywhere
+        a simulation is launched; keep the parser honest."""
+        from repro.engine import available_engines
+
+        assert set(available_engines()) == {"event", "lockstep"}
+        for name in ("simulate-gemm", "batch", "sweep", "explore", "serve", "selftest"):
+            sub = subcommands()[name]
+            engine_actions = [a for a in sub._actions if a.dest == "engine"]
+            assert engine_actions, f"{name} lost its --engine flag"
+            assert set(engine_actions[0].choices) == set(available_engines())
+
+
+class TestKnobTable:
+    def test_env_vars_documented_in_one_place(self):
+        text = (DOCS / "ARCHITECTURE.md").read_text(encoding="utf-8")
+        for knob in (
+            "REPRO_CACHE_DIR",
+            "REPRO_FULL_SUITE",
+            "REPRO_STRICT_BENCH",
+            "DEFAULT_CYCLE_BUDGET",
+        ):
+            assert knob in text, f"{knob} missing from the ARCHITECTURE.md knob table"
+
+    def test_documented_knobs_exist_in_code(self):
+        from repro.runtime.cache import CACHE_DIR_ENV
+        from repro.sim import DEFAULT_CYCLE_BUDGET
+
+        assert CACHE_DIR_ENV == "REPRO_CACHE_DIR"
+        assert DEFAULT_CYCLE_BUDGET == 10_000_000
+
+    def test_strict_bench_knob_used_by_benchmark(self):
+        text = (REPO_ROOT / "benchmarks" / "test_engine_speedup.py").read_text(
+            encoding="utf-8"
+        )
+        assert "REPRO_STRICT_BENCH" in text
+
+
+class TestCoverageOfDocsTree:
+    def test_every_doc_page_linked_from_architecture(self):
+        text = (DOCS / "ARCHITECTURE.md").read_text(encoding="utf-8")
+        for page in sorted(DOCS.glob("*.md")):
+            if page.name == "ARCHITECTURE.md":
+                continue
+            assert f"({page.name}" in text, (
+                f"docs/{page.name} is not linked from the architecture map"
+            )
+
+    def test_serve_doc_covers_the_promised_sections(self):
+        text = (DOCS / "SERVE.md").read_text(encoding="utf-8")
+        for needle in (
+            "coalesce",
+            "backpressure",
+            "QueueFullError",
+            "drain",
+            "bare `Simulator`",
+            "cache prune",
+        ):
+            assert needle in text, f"SERVE.md lost its {needle!r} coverage"

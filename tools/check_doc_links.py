@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Markdown link and anchor checker for the docs tree.
+
+Scans every file in ``docs/`` plus the repo-level markdown files and
+verifies that
+
+* relative links point at files that exist (``[x](RUNTIME.md)``,
+  ``[x](../examples/quickstart.py)``);
+* anchored links — cross-file (``RUNTIME.md#caching-semantics``) and
+  same-file (``#the-scheduler``) — name a heading that actually exists,
+  using GitHub's slug algorithm;
+* external links are well-formed enough to parse (they are *not* fetched —
+  CI must not depend on the network).
+
+Fenced code blocks and inline code spans are ignored, so shell snippets
+containing ``[...]`` never false-positive.
+
+Run from the repository root (CI does)::
+
+    python tools/check_doc_links.py            # exit 1 on any broken link
+    python tools/check_doc_links.py --verbose  # list every checked link
+
+Kept dependency-free on purpose; ``tests/test_docs.py`` runs it as part of
+the tier-1 suite, so doc drift fails the build both locally and in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Set, Tuple
+
+#: Repo-level markdown files checked in addition to docs/ (ISSUE.md is the
+#: per-PR task driver and deliberately out of scope).
+ROOT_DOCS = ("ROADMAP.md", "PAPER.md", "PAPERS.md", "CHANGES.md", "SNIPPETS.md")
+
+_LINK = re.compile(r"(?<!\!)\[(?P<text>[^\]]*)\]\((?P<target>[^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_IMAGE = re.compile(r"\!\[(?P<text>[^\]]*)\]\((?P<target>[^)\s]+)\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_FENCE = re.compile(r"^(```|~~~)")
+_CODE_SPAN = re.compile(r"`[^`]*`")
+
+
+def strip_code(text: str) -> str:
+    """Blank out fenced blocks and inline code spans, preserving line count."""
+    lines = []
+    in_fence = False
+    for line in text.splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            lines.append("")
+            continue
+        lines.append("" if in_fence else _CODE_SPAN.sub("", line))
+    return "\n".join(lines)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces → dashes.
+
+    Underscores survive (GitHub keeps them: ``## execute_with_progress`` →
+    ``#execute_with_progress``); only backtick/asterisk markup vanishes.
+    """
+    heading = re.sub(r"[`*]", "", heading)
+    heading = heading.strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> Set[str]:
+    """Every anchor a markdown file exposes (duplicates get -1, -2, ...)."""
+    counts: Dict[str, int] = {}
+    slugs: Set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        slugs.add(slug if seen == 0 else f"{slug}-{seen}")
+    return slugs
+
+
+def collect_files(root: Path) -> List[Path]:
+    files = sorted((root / "docs").glob("*.md"))
+    files += [root / name for name in ROOT_DOCS if (root / name).is_file()]
+    return files
+
+
+def check_file(path: Path, root: Path, verbose: bool = False) -> List[str]:
+    """Return a list of human-readable problems found in ``path``."""
+    problems: List[str] = []
+    text = strip_code(path.read_text(encoding="utf-8"))
+    links: List[Tuple[str, str]] = [
+        (m.group("text"), m.group("target"))
+        for pattern in (_LINK, _IMAGE)
+        for m in pattern.finditer(text)
+    ]
+    for text_label, target in links:
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue  # external: well-formed is enough, never fetched
+        base, _, fragment = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(root)}: broken link [{text_label}]({target}) "
+                    f"— {base} does not exist"
+                )
+                continue
+        else:
+            resolved = path.resolve()  # same-file anchor
+        if fragment:
+            if resolved.suffix != ".md":
+                continue  # anchors into non-markdown files are out of scope
+            if fragment not in heading_slugs(resolved):
+                problems.append(
+                    f"{path.relative_to(root)}: broken anchor [{text_label}]({target}) "
+                    f"— no heading slugs to #{fragment} in "
+                    f"{resolved.relative_to(root)}"
+                )
+                continue
+        if verbose:
+            print(f"  ok: {path.relative_to(root)} -> {target}")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default=Path(__file__).resolve().parent.parent,
+        type=Path,
+        help="repository root (default: the checkout containing this script)",
+    )
+    parser.add_argument("--verbose", action="store_true", help="list every checked link")
+    args = parser.parse_args(argv)
+
+    files = collect_files(args.root)
+    if not files:
+        print("error: no markdown files found — wrong --root?", file=sys.stderr)
+        return 2
+    problems: List[str] = []
+    for path in files:
+        problems.extend(check_file(path, args.root, verbose=args.verbose))
+    if problems:
+        print(f"{len(problems)} broken link(s)/anchor(s):", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print(f"doc links ok: {len(files)} files checked")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
