@@ -12,15 +12,14 @@ Set ``REPRO_FULL_SUITE=1`` to run the ablation on the full 260-workload suite
 (slower); the default uses a stratified subset.
 """
 
-import os
-
 import pytest
 
+from repro.config import get_config
 from repro.system import datamaestro_evaluation_system
 
 
 def pytest_report_header(config):
-    full = os.environ.get("REPRO_FULL_SUITE", "0")
+    full = "1" if get_config().full_suite else "0"
     return [f"DataMaestro reproduction benchmarks (REPRO_FULL_SUITE={full})"]
 
 

@@ -27,7 +27,6 @@ macro-vs-PR-3 ratio the acceptance bar applies to.
 
 import dataclasses
 import json
-import os
 import time
 from pathlib import Path
 
@@ -35,13 +34,14 @@ import pytest
 
 from repro import __version__
 from repro.compiler import compile_workload
+from repro.config import get_config
 from repro.core.params import FeatureSet
 from repro.engine import EventDrivenEngine
 from repro.system import AcceleratorSystem, datamaestro_evaluation_system
 from repro.workloads import GemmWorkload
 
 #: Where BENCH_engine.json lands (override with REPRO_BENCH_OUT=<dir>).
-BENCH_OUT_DIR = Path(os.environ.get("REPRO_BENCH_OUT", Path(__file__).resolve().parent.parent))
+BENCH_OUT_DIR = get_config().bench_out or Path(__file__).resolve().parent.parent
 BENCH_PATH = BENCH_OUT_DIR / "BENCH_engine.json"
 
 #: Timing repetitions; engines are measured in alternation and the best of N
@@ -56,7 +56,7 @@ MIN_BANDWIDTH_SPEEDUP = 2.0
 #: change; set ``REPRO_STRICT_BENCH=1`` on a quiet machine to enforce the
 #: tight ">=2x" acceptance bound (measured: >3x, see BENCH_engine.json,
 #: where the actual ratio is always recorded regardless of the bar).
-STRICT_BENCH = os.environ.get("REPRO_STRICT_BENCH", "0") not in ("0", "", "false")
+STRICT_BENCH = get_config().strict_bench
 MIN_COMPUTE_SPEEDUP = 2.0 if STRICT_BENCH else 1.3
 
 

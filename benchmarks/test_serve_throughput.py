@@ -16,22 +16,32 @@ The hard functional bar (exactly ``unique`` backend executions for
 ``total`` submissions) is enforced always — it is deterministic, not a
 timing claim.  Timing numbers are recorded, never gated, so a loaded CI
 machine cannot fail the build on noise.
+
+The ``shard_scaling`` section measures the multi-process cluster
+(:mod:`repro.cluster`) on a compute-bound all-unique mix at 1, 2 and 4
+shards with a fresh cache per run.  Thread workers cannot beat the GIL on
+this mix; shard processes can, so throughput should rise with the shard
+count wherever cores exist.  The ≥1.5x bar at 4 shards is
+enforced only under ``REPRO_STRICT_BENCH=1`` (the CI runners have the
+cores; a 1-core laptop cannot scale and must not fail).
 """
 
 import json
-import os
 import time
-from pathlib import Path
 
 import pytest
 
 from repro import __version__
+from repro.cluster import ClusterConfig, ClusterService
+from repro.config import get_config
 from repro.runtime import ResultCache, SimJob
 from repro.serve import ServiceClient, ServiceConfig
 from repro.workloads import GemmWorkload
 
+from pathlib import Path
+
 #: Where BENCH_serve.json lands (override with REPRO_BENCH_OUT=<dir>).
-BENCH_OUT_DIR = Path(os.environ.get("REPRO_BENCH_OUT", Path(__file__).resolve().parent.parent))
+BENCH_OUT_DIR = get_config().bench_out or Path(__file__).resolve().parent.parent
 BENCH_PATH = BENCH_OUT_DIR / "BENCH_serve.json"
 
 #: The duplicate-heavy mix: (kernel dims, submissions of that kernel).
@@ -139,3 +149,105 @@ def test_bench_report_written(bench_results):
     assert data["executed"] == bench_results["executed"]
     assert data["latency"]["p99_seconds"] == bench_results["latency"]["p99_seconds"]
     assert data["submissions"] == 50
+
+
+# ----------------------------------------------------------------------
+# Shard scaling: the multi-process cluster vs the GIL.
+# ----------------------------------------------------------------------
+#: Shard counts of the scaling curve.
+SHARD_COUNTS = (1, 2, 4)
+#: All-unique compute-bound jobs per run (same kernel, distinct seeds).
+SCALING_JOBS = 8
+#: Kernel dimension; 48x48x48 simulates long enough (~70 ms) that process
+#: startup and protocol overhead are small against the simulation itself.
+SCALING_DIM = 48
+#: Required 4-shard vs 1-shard throughput ratio under REPRO_STRICT_BENCH=1.
+MIN_SHARD_SCALING = 1.5
+STRICT_BENCH = get_config().strict_bench
+
+
+def _scaling_jobs():
+    workload = GemmWorkload(
+        name="bench_shard_scaling", m=SCALING_DIM, n=SCALING_DIM, k=SCALING_DIM
+    )
+    return [SimJob(workload=workload, seed=seed) for seed in range(SCALING_JOBS)]
+
+
+@pytest.fixture(scope="module")
+def shard_scaling(bench_results, tmp_path_factory):
+    """Run the compute-bound mix at each shard count; extend BENCH_serve.json.
+
+    Depends on ``bench_results`` so the report file exists to be extended —
+    the ``shard_scaling`` key lands in the same JSON the single-process
+    numbers live in.
+    """
+    jobs = _scaling_jobs()
+    runs = []
+    for shards in SHARD_COUNTS:
+        # A fresh cache per run: every job must actually execute, so the
+        # curve measures simulation throughput, not cache reads.
+        cache_dir = tmp_path_factory.mktemp(f"serve-bench-shards{shards}")
+        cluster = ClusterService(
+            cache_dir=cache_dir,
+            config=ClusterConfig(
+                shards=shards, worker_threads=1, max_backlog=len(jobs)
+            ),
+        )
+        try:
+            start = time.perf_counter()
+            outcomes = cluster.run(jobs, client_name="bench")
+            wall = time.perf_counter() - start
+            stats = cluster.stats_dict()
+        finally:
+            cluster.close()
+        assert len(outcomes) == len(jobs)
+        runs.append(
+            {
+                "shards": shards,
+                "wall_seconds": wall,
+                "jobs_per_second": len(jobs) / wall,
+                "executed": stats["executed"],
+                "restarts": stats["restarts"],
+            }
+        )
+    by_shards = {run["shards"]: run for run in runs}
+    section = {
+        "kernel": f"{SCALING_DIM}x{SCALING_DIM}x{SCALING_DIM}",
+        "jobs": len(jobs),
+        "runs": runs,
+        "speedup_4_vs_1": (
+            by_shards[4]["jobs_per_second"] / by_shards[1]["jobs_per_second"]
+        ),
+        "strict_bench": STRICT_BENCH,
+        "min_speedup_enforced": MIN_SHARD_SCALING if STRICT_BENCH else None,
+    }
+    data = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+    data["shard_scaling"] = section
+    BENCH_PATH.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+    return section
+
+
+def test_shard_runs_execute_everything(shard_scaling):
+    """The functional bar at every shard count: no lost or duplicated work,
+    no supervisor intervention on a healthy run."""
+    for run in shard_scaling["runs"]:
+        assert run["executed"] == shard_scaling["jobs"], run
+        assert run["restarts"] == 0, run
+
+
+def test_shard_scaling_recorded(shard_scaling):
+    data = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+    recorded = data["shard_scaling"]
+    assert [run["shards"] for run in recorded["runs"]] == list(SHARD_COUNTS)
+    assert all(run["jobs_per_second"] > 0 for run in recorded["runs"])
+    assert recorded["speedup_4_vs_1"] == shard_scaling["speedup_4_vs_1"]
+
+
+@pytest.mark.skipif(
+    not STRICT_BENCH,
+    reason="shard-scaling bar enforced only under REPRO_STRICT_BENCH=1 "
+    "(needs >= 4 cores; the ratio is always recorded in BENCH_serve.json)",
+)
+def test_shard_scaling_speedup(shard_scaling):
+    """4 shards must beat 1 shard by >= MIN_SHARD_SCALING on real cores."""
+    assert shard_scaling["speedup_4_vs_1"] >= MIN_SHARD_SCALING, shard_scaling

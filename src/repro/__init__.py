@@ -22,6 +22,11 @@ the sub-packages hold the full API:
 * :mod:`repro.serve` — the asynchronous simulation service on top of the
   runtime: request coalescing, fair bounded admission, streaming
   lifecycle/progress events (``docs/SERVE.md``);
+* :mod:`repro.cluster` — the service sharded across supervised worker
+  processes: hash routing, heartbeat/restart supervision and a durable
+  job journal (``docs/SERVE.md``);
+* :mod:`repro.config` — the typed :class:`~repro.config.RuntimeConfig`
+  holding every environment knob;
 * :mod:`repro.baselines` — SotA comparator models;
 * :mod:`repro.analysis` — metrics, ablation driver, area/power models;
 * :mod:`repro.explore` — multi-objective design-space exploration: search
@@ -43,7 +48,7 @@ from .core.params import FeatureSet, StreamerDesign, StreamerMode, StreamerRunti
 from .core.streamer import DataMaestro
 from .memory.addressing import AddressingMode, BankGeometry
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from .engine import DEFAULT_ENGINE, EVENT_ENGINE, LOCKSTEP_ENGINE, available_engines
 from .runtime import BatchRunner, SimJob, SimOutcome, Simulator, simulate

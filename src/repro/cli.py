@@ -23,6 +23,11 @@ Provides quick access to the main entry points without writing Python:
   duplicate in-flight requests coalesce onto one simulation, admission is
   fair and bounded, and lifecycle/progress events stream to stdout (see
   ``docs/SERVE.md``);
+* ``python -m repro.cli serve gemm:64x64x64 --shards 4 --journal
+  --stats-interval 5`` — the same stream through the multi-process sharded
+  cluster: each shard owns a private GIL, a supervisor restarts crashed
+  workers, and the durable job journal replays the unfinished backlog after
+  a daemon restart (see ``docs/SERVE.md``);
 * ``python -m repro.cli cache info|prune|clear`` — inspect or bound the
   on-disk result cache (``prune`` evicts least-recently-used entries);
 * ``python -m repro.cli selftest`` — tiny cached GeMM end-to-end smoke test;
@@ -518,8 +523,37 @@ def cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_stats_line(snapshot: dict) -> str:
+    """One compact periodic-stats line for thread or cluster snapshots."""
+    counters = snapshot.get("stats", snapshot)  # cluster nests its counters
+    line = (
+        f"stats: queue={snapshot.get('queue_depth', 0)} "
+        f"inflight={snapshot.get('inflight', 0)} "
+        f"submitted={counters.get('submitted', 0)} "
+        f"executed={counters.get('executed', 0)} "
+        f"coalesced={counters.get('coalesced', 0)} "
+        f"cache_hits={counters.get('cache_hits', 0)}"
+    )
+    latency = snapshot.get("latency")
+    if isinstance(latency, dict) and latency.get("count"):
+        line += (
+            f" p50={latency['p50_seconds'] * 1000:.1f}ms"
+            f" p99={latency['p99_seconds'] * 1000:.1f}ms"
+        )
+    if "shards" in snapshot:
+        alive = sum(1 for shard in snapshot["shards"] if shard.get("alive"))
+        line += f" shards={alive}/{snapshot.get('shard_count', 0)}"
+        restarts = counters.get("restarts", 0)
+        if restarts:
+            line += f" restarts={restarts}"
+    return line
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serve a workload stream through the asynchronous simulation service."""
+    import threading
+
+    from .config import get_config
     from .serve import QueueFullError, ServiceClient, ServiceConfig
 
     try:
@@ -543,12 +577,27 @@ def cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    runtime_config = get_config()
+    shards = args.shards if args.shards is not None else runtime_config.serve_shards
+    if shards < 0:
+        print("error: --shards must be non-negative", file=sys.stderr)
+        return 2
+    if args.stats_interval is not None and args.stats_interval <= 0:
+        print("error: --stats-interval must be positive", file=sys.stderr)
+        return 2
+    if args.journal is not None and shards == 0:
+        print(
+            "error: --journal needs the sharded service (--shards N, N >= 1)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.events and shards > 0:
+        print(
+            "note: --events is unavailable in sharded mode (events stay "
+            "inside each shard process); ignoring it",
+            file=sys.stderr,
+        )
     cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
-    config = ServiceConfig(
-        max_workers=args.workers,
-        max_backlog=args.backlog,
-        progress_interval=args.progress_interval,
-    )
     features = _features_from_args(args)
     jobs = [
         SimJob(
@@ -561,8 +610,52 @@ def cmd_serve(args: argparse.Namespace) -> int:
         for workload in workloads
         for _ in range(args.repeat)
     ]
-    on_event = (lambda event: print(f"  {event.describe()}")) if args.events else None
-    client = ServiceClient(cache_dir=cache_dir, config=config, on_event=on_event)
+    if shards > 0:
+        from pathlib import Path
+
+        from .cluster import ClusterConfig, ClusterService
+
+        journal_path = None
+        if args.journal == "":
+            journal_path = runtime_config.journal_dir / "serve.jsonl"
+        elif args.journal is not None:
+            journal_path = Path(args.journal)
+        client = ClusterService(
+            cache_dir=cache_dir,
+            config=ClusterConfig(
+                shards=shards,
+                worker_threads=args.workers,
+                max_backlog=args.backlog,
+                progress_interval=args.progress_interval,
+            ),
+            journal=journal_path,
+        )
+    else:
+        on_event = (
+            (lambda event: print(f"  {event.describe()}")) if args.events else None
+        )
+        client = ServiceClient(
+            cache_dir=cache_dir,
+            config=ServiceConfig(
+                max_workers=args.workers,
+                max_backlog=args.backlog,
+                progress_interval=args.progress_interval,
+            ),
+            on_event=on_event,
+        )
+    stop_stats = threading.Event()
+    if args.stats_interval:
+
+        def _dump_stats() -> None:
+            while not stop_stats.wait(args.stats_interval):
+                try:
+                    print(f"  {_format_stats_line(client.snapshot())}")
+                except Exception:  # noqa: BLE001 — telemetry must not kill serving
+                    break
+
+        threading.Thread(
+            target=_dump_stats, name="repro-serve-stats", daemon=True
+        ).start()
     try:
         # Spread the stream round-robin over the simulated clients; the
         # fair queue interleaves them, duplicates coalesce in-flight.
@@ -576,6 +669,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 return 1
         outcomes = [ticket.result() for ticket in tickets]
     finally:
+        stop_stats.set()
         client.close(drain=True)
     unique = {}
     for outcome in outcomes:
@@ -584,12 +678,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         unique.values(), f"Service results ({len(jobs)} submissions, "
         f"{len(unique)} unique jobs)"
     )
-    stats = client.stats()
+    stats = client.stats() if shards == 0 else client.stats_dict()
     print(
         f"service: {stats['submitted']} submitted, {stats['executed']} simulated, "
         f"{stats['coalesced']} coalesced, {stats['cache_hits']} cache hits "
         f"(coalescing hit-rate {stats['coalescing_hit_rate']:.0%}, "
-        f"workers {args.workers}, backlog {args.backlog})"
+        f"workers {args.workers}, backlog {args.backlog}"
+        + (f", shards {shards}, restarts {stats['restarts']})" if shards else ")")
     )
     return 0
 
@@ -899,9 +994,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="cycle cadence of streaming progress events (default: 250000)",
     )
     serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard the service over N worker processes (private GIL each; "
+        "default: $REPRO_SERVE_SHARDS or 0 = single-process thread service; "
+        "see docs/SERVE.md)",
+    )
+    serve.add_argument(
+        "--journal",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help="durable job journal for the sharded service: accepted jobs are "
+        "recorded before dispatch and a restarted daemon resubmits the "
+        "unfinished backlog (bare flag: $REPRO_JOURNAL_DIR/serve.jsonl)",
+    )
+    serve.add_argument(
+        "--stats-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="periodically print a structured stats snapshot (queue depth, "
+        "hit rates, latency percentiles, live shards)",
+    )
+    serve.add_argument(
         "--events",
         action="store_true",
-        help="stream per-job lifecycle/progress events to stdout",
+        help="stream per-job lifecycle/progress events to stdout "
+        "(single-process mode only)",
     )
     serve.add_argument(
         "--backend",

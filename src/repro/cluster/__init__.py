@@ -1,0 +1,57 @@
+"""Multi-process sharded simulation cluster.
+
+The :mod:`repro.serve` service coalesces, caches and fair-queues — but one
+process means one GIL, and compute-bound simulation throughput flatlines
+however many threads it runs.  :mod:`repro.cluster` shards that same
+service across worker *processes*:
+
+* :class:`~repro.cluster.router.ShardRouter` hash-partitions jobs by their
+  content hash, so identical jobs land on the same shard and per-shard
+  in-flight coalescing stays exactly correct;
+* each shard is a forked process running a private
+  :class:`~repro.serve.service.SimulationService`
+  (:mod:`~repro.cluster.worker`), speaking the length-prefixed message
+  protocol of :mod:`~repro.cluster.protocol`;
+* a :class:`~repro.cluster.supervisor.Supervisor` heartbeats every shard,
+  restarts crashed or hung workers with capped exponential backoff, and
+  requeues their in-flight jobs onto the replacement;
+* an optional :class:`~repro.cluster.journal.JobJournal` makes the backlog
+  durable: a restarted daemon resubmits unfinished jobs and serves
+  completed ones without re-execution.
+
+:class:`~repro.cluster.service.ClusterService` is the front door; it is
+API-compatible with :class:`~repro.serve.client.ServiceClient`, so
+``Simulator(service=cluster)`` and ``BatchRunner(service=cluster)`` work
+unchanged.  ``repro serve --shards N`` exposes it from the CLI.
+"""
+
+from .journal import (
+    JOB_JOURNAL_FORMAT,
+    JobJournal,
+    JobJournalContents,
+    JobJournalError,
+)
+from .protocol import MAX_FRAME_BYTES, MessageChannel, ProtocolError, channel_pair
+from .router import ShardRouter
+from .service import ClusterConfig, ClusterService, ClusterStats, ClusterTicket
+from .supervisor import ShardFailedError, ShardHandle, Supervisor, SupervisorConfig
+
+__all__ = [
+    "JOB_JOURNAL_FORMAT",
+    "JobJournal",
+    "JobJournalContents",
+    "JobJournalError",
+    "MAX_FRAME_BYTES",
+    "MessageChannel",
+    "ProtocolError",
+    "channel_pair",
+    "ShardRouter",
+    "ClusterConfig",
+    "ClusterService",
+    "ClusterStats",
+    "ClusterTicket",
+    "ShardFailedError",
+    "ShardHandle",
+    "Supervisor",
+    "SupervisorConfig",
+]

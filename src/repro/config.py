@@ -1,0 +1,189 @@
+"""Typed runtime configuration: one home for every environment knob.
+
+Before this module, the runtime knobs were scattered ``os.environ`` reads —
+the cache picked its root from ``REPRO_CACHE_DIR``, the ablation suite
+checked ``REPRO_FULL_SUITE``, the benchmarks checked ``REPRO_STRICT_BENCH``
+and ``REPRO_BENCH_OUT`` — each with its own parsing and defaults.
+:class:`RuntimeConfig` centralizes them: one frozen dataclass with typed
+fields, one env-var parser, and explicit override hooks for tests and
+embedders.
+
+Usage::
+
+    from repro.config import get_config
+
+    cache_root = get_config().cache_dir       # honours REPRO_CACHE_DIR
+    if get_config().full_suite: ...           # honours REPRO_FULL_SUITE
+
+``get_config()`` re-reads the environment on every call (the reads are
+cheap), so ``monkeypatch.setenv`` keeps working in tests; a process that
+wants a pinned configuration installs one with :func:`set_config` /
+:func:`reset_config` (or the :func:`override` context manager).
+
+The knob table in ``docs/ARCHITECTURE.md`` documents every field here, and
+``tests/test_docs.py`` fails the build when the two drift apart.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Dict, Iterator, Mapping, Optional
+
+__all__ = [
+    "ENV_BENCH_OUT",
+    "ENV_CACHE_DIR",
+    "ENV_FULL_SUITE",
+    "ENV_JOURNAL_DIR",
+    "ENV_SERVE_SHARDS",
+    "ENV_STRICT_BENCH",
+    "RuntimeConfig",
+    "get_config",
+    "override",
+    "reset_config",
+    "set_config",
+]
+
+#: Result-cache root directory (``ResultCache`` / ``--cache-dir`` default).
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+#: Run the full synthetic suite / per-layer network sets instead of subsets.
+ENV_FULL_SUITE = "REPRO_FULL_SUITE"
+#: Enforce the CI benchmark bars (speedups, shard scaling) strictly.
+ENV_STRICT_BENCH = "REPRO_STRICT_BENCH"
+#: Default shard count of ``repro serve`` (0 = in-process thread service).
+ENV_SERVE_SHARDS = "REPRO_SERVE_SHARDS"
+#: Directory for durable job journals (``repro serve --journal`` default).
+ENV_JOURNAL_DIR = "REPRO_JOURNAL_DIR"
+#: Directory where the benchmark JSON reports land (default: repo root).
+ENV_BENCH_OUT = "REPRO_BENCH_OUT"
+
+
+def _parse_bool(value: Optional[str]) -> bool:
+    """The package-wide truthiness convention for env flags.
+
+    Matches the historical scattered readers exactly: unset, empty, ``0``,
+    ``false`` and ``False`` are off; anything else is on.
+    """
+    return value not in (None, "", "0", "false", "False")
+
+
+def _default_cache_dir() -> Path:
+    return Path.home() / ".cache" / "repro-datamaestro"
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Every environment-tunable runtime knob, as typed fields.
+
+    Parameters
+    ----------
+    cache_dir:
+        Result-cache root used when no explicit ``cache_dir`` is given
+        (``$REPRO_CACHE_DIR``).
+    journal_dir:
+        Directory for durable serve/cluster job journals
+        (``$REPRO_JOURNAL_DIR``; defaults to ``<cache_dir>/journal``).
+    full_suite:
+        Run the full 260-workload synthetic suite and the complete
+        per-layer network parity set (``$REPRO_FULL_SUITE``).
+    strict_bench:
+        Enforce the CI performance bars — engine speedups, shard-scaling
+        throughput — instead of recording them (``$REPRO_STRICT_BENCH``).
+    serve_shards:
+        Default worker-process shard count for ``repro serve``; ``0`` keeps
+        the single-process thread service (``$REPRO_SERVE_SHARDS``).
+    bench_out:
+        Directory the ``BENCH_*.json`` reports are written to; ``None``
+        means the repository root (``$REPRO_BENCH_OUT``).
+    """
+
+    cache_dir: Path = field(default_factory=_default_cache_dir)
+    journal_dir: Optional[Path] = None
+    full_suite: bool = False
+    strict_bench: bool = False
+    serve_shards: int = 0
+    bench_out: Optional[Path] = None
+
+    def __post_init__(self) -> None:
+        if self.serve_shards < 0:
+            raise ValueError("serve_shards must be non-negative")
+        if self.journal_dir is None:
+            object.__setattr__(self, "journal_dir", self.cache_dir / "journal")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_env(cls, environ: Optional[Mapping[str, str]] = None) -> "RuntimeConfig":
+        """Build a configuration from ``environ`` (default: ``os.environ``)."""
+        env = os.environ if environ is None else environ
+        cache_dir = (
+            Path(env[ENV_CACHE_DIR]) if env.get(ENV_CACHE_DIR) else _default_cache_dir()
+        )
+        journal_dir = Path(env[ENV_JOURNAL_DIR]) if env.get(ENV_JOURNAL_DIR) else None
+        shards_text = env.get(ENV_SERVE_SHARDS, "")
+        try:
+            serve_shards = int(shards_text) if shards_text else 0
+        except ValueError as error:
+            raise ValueError(
+                f"{ENV_SERVE_SHARDS}={shards_text!r} is not an integer"
+            ) from error
+        bench_out = Path(env[ENV_BENCH_OUT]) if env.get(ENV_BENCH_OUT) else None
+        return cls(
+            cache_dir=cache_dir,
+            journal_dir=journal_dir,
+            full_suite=_parse_bool(env.get(ENV_FULL_SUITE)),
+            strict_bench=_parse_bool(env.get(ENV_STRICT_BENCH)),
+            serve_shards=serve_shards,
+            bench_out=bench_out,
+        )
+
+    def with_overrides(self, **changes: object) -> "RuntimeConfig":
+        """Copy with selected fields replaced (mirrors ``SimJob`` idiom)."""
+        return replace(self, **changes)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat summary for reports and the CLI stats dump."""
+        summary: Dict[str, object] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            summary[spec.name] = str(value) if isinstance(value, Path) else value
+        return summary
+
+
+# ----------------------------------------------------------------------
+# Process-wide access: env-backed by default, pinnable for tests/embedders.
+# ----------------------------------------------------------------------
+_PINNED: Optional[RuntimeConfig] = None
+
+
+def get_config() -> RuntimeConfig:
+    """The active configuration: the pinned one, else a fresh env read."""
+    if _PINNED is not None:
+        return _PINNED
+    return RuntimeConfig.from_env()
+
+
+def set_config(config: RuntimeConfig) -> None:
+    """Pin ``config`` as the process-wide configuration."""
+    global _PINNED
+    _PINNED = config
+
+
+def reset_config() -> None:
+    """Drop any pinned configuration; ``get_config`` reads the env again."""
+    global _PINNED
+    _PINNED = None
+
+
+@contextmanager
+def override(**changes: object) -> Iterator[RuntimeConfig]:
+    """Temporarily pin the current configuration with ``changes`` applied."""
+    global _PINNED
+    previous = _PINNED
+    pinned = get_config().with_overrides(**changes)
+    set_config(pinned)
+    try:
+        yield pinned
+    finally:
+        _PINNED = previous

@@ -15,7 +15,6 @@ setting produced the published numbers.
 
 from __future__ import annotations
 
-import os
 from typing import Dict, Optional
 
 from ..analysis.ablation import STEP_LABELS, AblationResults, AblationStudy
@@ -55,7 +54,9 @@ PAPER_FIG7B_REDUCTIONS = {
 def full_suite_requested(full: Optional[bool]) -> bool:
     if full is not None:
         return full
-    return os.environ.get("REPRO_FULL_SUITE", "0") not in ("", "0", "false", "False")
+    from ..config import get_config
+
+    return get_config().full_suite
 
 
 def run(

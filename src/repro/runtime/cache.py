@@ -26,16 +26,21 @@ from typing import Optional, Union
 
 from .outcome import SimOutcome
 
-#: Environment variable overriding the default cache location.
+#: Environment variable overriding the default cache location (the read
+#: itself lives in :mod:`repro.config`; the name is re-exported here for
+#: backwards compatibility).
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 
 def default_cache_dir() -> Path:
-    """Default cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-datamaestro``."""
-    override = os.environ.get(CACHE_DIR_ENV)
-    if override:
-        return Path(override)
-    return Path.home() / ".cache" / "repro-datamaestro"
+    """Default cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-datamaestro``.
+
+    Delegates to the typed :func:`repro.config.get_config`, the single
+    place environment knobs are read.
+    """
+    from ..config import get_config
+
+    return get_config().cache_dir
 
 
 class ResultCache:
@@ -100,7 +105,26 @@ class ResultCache:
         return outcome
 
     def put(self, key: str, outcome: SimOutcome) -> None:
-        """Store ``outcome`` under ``key`` (atomic replace)."""
+        """Store ``outcome`` under ``key`` (atomic replace).
+
+        Multi-process safe: the entry is staged in a uniquely named temp
+        file and renamed into place, so concurrent writers racing on the
+        same key each install a complete entry and the last rename wins —
+        readers only ever observe nothing or a whole pickle.  A cache
+        directory deleted underneath us (an external ``rm -rf`` between
+        construction and write-back) is recreated and the write retried
+        once rather than failing the simulation's result delivery.
+        """
+        for attempt in (0, 1):
+            try:
+                self._put_once(key, outcome)
+                return
+            except FileNotFoundError:
+                if attempt:
+                    raise
+                self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _put_once(self, key: str, outcome: SimOutcome) -> None:
         path = self.path_for(key)
         fd, tmp_name = tempfile.mkstemp(
             prefix=f".{key[:16]}-", suffix=".tmp", dir=str(self.directory)

@@ -36,6 +36,7 @@ from .events import EVENT_KINDS, EventSubscription, ServiceEvent
 from .queue import FairQueue, QueueFullError
 from .service import (
     JobTicket,
+    LatencyHistogram,
     ServiceClosedError,
     ServiceConfig,
     ServiceStats,
@@ -48,6 +49,7 @@ __all__ = [
     "EventSubscription",
     "FairQueue",
     "JobTicket",
+    "LatencyHistogram",
     "QueueFullError",
     "ServiceClient",
     "ServiceClosedError",

@@ -191,6 +191,18 @@ class ServiceClient:
 
         return self._call(_stats())
 
+    def snapshot(self) -> Dict[str, object]:
+        """Structured ops snapshot (queue depth, hit rates, per-worker
+        executed counts, latency histogram) — see
+        :meth:`SimulationService.snapshot`.  Readable after close."""
+        if self._closed:
+            return self.service.snapshot()
+
+        async def _snapshot():
+            return self.service.snapshot()
+
+        return self._call(_snapshot())
+
     def describe(self) -> Dict[str, object]:
         if self._closed:
             return self.service.describe()

@@ -34,8 +34,9 @@ from __future__ import annotations
 
 import asyncio
 import functools
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..runtime.batch import execute_job_with_progress
 from ..runtime.cache import ResultCache
@@ -45,6 +46,7 @@ from .events import EventBus, EventSubscription, ServiceEvent
 from .queue import FairQueue, QueueFullError
 
 __all__ = [
+    "LatencyHistogram",
     "ServiceClosedError",
     "ServiceConfig",
     "ServiceStats",
@@ -87,6 +89,107 @@ class ServiceConfig:
             raise ValueError("progress_interval must be positive")
 
 
+#: Upper bucket bounds (seconds) of :class:`LatencyHistogram`; roughly
+#: logarithmic from 1 ms to 30 s, which brackets every workload the repo's
+#: cycle engines simulate.  The implicit final bucket is +inf.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram (Prometheus-style cumulative bounds).
+
+    ``observe`` is a counter bump — cheap enough for the service's hot
+    completion path — and ``quantile`` interpolates within the winning
+    bucket, so percentile estimates stay stable without storing samples.
+    """
+
+    def __init__(self, bounds: Tuple[float, ...] = LATENCY_BUCKETS) -> None:
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # final slot: > bounds[-1]
+        self.total_seconds = 0.0
+        self.count = 0
+
+    def observe(self, seconds: float) -> None:
+        index = 0
+        for bound in self.bounds:
+            if seconds <= bound:
+                break
+            index += 1
+        self.counts[index] += 1
+        self.count += 1
+        self.total_seconds += seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def __eq__(self, other: object) -> bool:
+        # Value equality keeps dataclasses holding a histogram comparable.
+        if not isinstance(other, LatencyHistogram):
+            return NotImplemented
+        return (
+            self.bounds == other.bounds
+            and self.counts == other.counts
+            and self.count == other.count
+            and self.total_seconds == other.total_seconds
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencyHistogram(count={self.count}, "
+            f"mean={self.mean:.6f}s)"
+        )
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0..1) via in-bucket interpolation."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for index, bound in enumerate(self.bounds):
+            previous = cumulative
+            cumulative += self.counts[index]
+            if cumulative >= rank:
+                if self.counts[index] == 0:
+                    return bound
+                fraction = (rank - previous) / self.counts[index]
+                return lower + fraction * (bound - lower)
+            lower = bound
+        return self.bounds[-1]  # everything landed in the overflow bucket
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "mean_seconds": self.mean,
+            "p50_seconds": self.quantile(0.5),
+            "p90_seconds": self.quantile(0.9),
+            "p99_seconds": self.quantile(0.99),
+            "buckets": [
+                {"le": bound, "count": count}
+                for bound, count in zip(self.bounds, self.counts)
+            ]
+            + [{"le": None, "count": self.counts[-1]}],
+        }
+
+
 @dataclass
 class ServiceStats:
     """Counters of one service instance (monotonic over its lifetime)."""
@@ -98,6 +201,11 @@ class ServiceStats:
     failed: int = 0
     rejected: int = 0
     cancelled: int = 0
+    #: Jobs completed per worker slot — skew here means unfair pop order
+    #: or one worker pinned on a long simulation.
+    per_worker_executed: Dict[int, int] = field(default_factory=dict)
+    #: Admission-to-completion latency of executed jobs.
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
 
     @property
     def coalescing_hit_rate(self) -> float:
@@ -150,6 +258,8 @@ class _Entry:
     future: "asyncio.Future[SimOutcome]"
     waiters: int = 1
     started: bool = False
+    #: Monotonic admission time; completion observes the latency.
+    enqueued_at: float = 0.0
 
 
 class SimulationService:
@@ -324,6 +434,7 @@ class SimulationService:
             client=client,
             priority=priority,
             future=self._loop.create_future(),
+            enqueued_at=time.monotonic(),
         )
         # Failures are also reported via events; retrieving the exception
         # here keeps abandoned tickets from warning at garbage collection.
@@ -408,6 +519,30 @@ class SimulationService:
         """Unique jobs somewhere between admission and completion."""
         return len(self._inflight)
 
+    def snapshot(self) -> Dict[str, object]:
+        """Structured ops snapshot: depth, rates, skew, latency.
+
+        Everything an operator (or the cluster supervisor's pong frames)
+        wants in one picklable dict: current queue depth and in-flight
+        count, the coalescing / cache hit rates, per-worker executed
+        counts, and the admission-to-completion latency histogram.
+        """
+        return {
+            "queue_depth": self.backlog(),
+            "inflight": self.inflight(),
+            "submitted": self.stats.submitted,
+            "executed": self.stats.executed,
+            "coalesced": self.stats.coalesced,
+            "cache_hits": self.stats.cache_hits,
+            "failed": self.stats.failed,
+            "rejected": self.stats.rejected,
+            "cancelled": self.stats.cancelled,
+            "coalescing_hit_rate": self.stats.coalescing_hit_rate,
+            "cache_hit_rate": self.stats.cache_hit_rate,
+            "per_worker_executed": dict(self.stats.per_worker_executed),
+            "latency": self.stats.latency.as_dict(),
+        }
+
     def describe(self) -> Dict[str, object]:
         return {
             "config": {
@@ -436,9 +571,9 @@ class SimulationService:
                 continue  # entry was drained by a non-draining close
             entry, _client, _priority = popped
             entry.started = True
-            await self._execute_entry(entry)
+            await self._execute_entry(entry, index)
 
-    async def _execute_entry(self, entry: _Entry) -> None:
+    async def _execute_entry(self, entry: _Entry, worker_index: int = 0) -> None:
         self.events.publish(
             "started", entry.key, entry.client, workload=entry.job.workload.name
         )
@@ -489,6 +624,11 @@ class SimulationService:
                 entry.future.set_exception(error)
             return
         self.stats.executed += 1
+        self.stats.per_worker_executed[worker_index] = (
+            self.stats.per_worker_executed.get(worker_index, 0) + 1
+        )
+        if entry.enqueued_at:
+            self.stats.latency.observe(time.monotonic() - entry.enqueued_at)
         self._inflight.pop(entry.key, None)
         self.events.publish(
             "finished",

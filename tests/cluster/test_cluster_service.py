@@ -1,0 +1,354 @@
+"""ClusterService end-to-end: routing, coalescing, supervision, recovery.
+
+The acceptance tests of the sharded service live here:
+
+* kill a shard mid-burst → the supervisor restarts it, its in-flight jobs
+  are requeued onto the replacement, and every coalesced waiter receives
+  exactly one consistent outcome — zero lost, zero duplicated;
+* crash the whole daemon (``terminate``) → a new cluster on the same
+  journal resubmits the unfinished backlog and completes it.
+"""
+
+import itertools
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterService,
+    ShardFailedError,
+)
+from repro.runtime import ResultCache, register_backend
+from repro.runtime.backends import SimulationBackend
+from repro.serve import ServiceClosedError
+
+_LOCAL_COUNTER = itertools.count()
+
+
+def release(backend):
+    """Open a FileGatedBackend's gate."""
+    Path(backend.gate_path).touch()
+
+
+def wait_for(predicate, timeout=15.0, interval=0.02, message="condition"):
+    """Poll ``predicate`` until true; fail the test on timeout."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+def _fast_config(shards=2, **overrides):
+    """Supervision tuned for tests: tight heartbeats, quick backoff."""
+    settings = dict(
+        shards=shards,
+        worker_threads=1,
+        heartbeat_interval=0.1,
+        heartbeat_timeout=5.0,
+        backoff_base=0.05,
+        backoff_cap=0.2,
+        ready_timeout=15.0,
+        shutdown_timeout=30.0,
+    )
+    settings.update(overrides)
+    return ClusterConfig(**settings)
+
+
+# ----------------------------------------------------------------------
+# Plain serving.
+# ----------------------------------------------------------------------
+class TestClusterServing:
+    def test_run_executes_every_job(self, tmp_path, instant_backend, make_job):
+        jobs = [make_job(instant_backend.name, tag=i) for i in range(8)]
+        with ClusterService(
+            cache_dir=tmp_path / "cache", config=_fast_config()
+        ) as cluster:
+            outcomes = cluster.run(jobs)
+            assert [o.job_hash for o in outcomes] == [j.job_hash() for j in jobs]
+            assert cluster.stats.executed == len(jobs)
+            assert cluster.stats.failed == 0
+            assert cluster.restarts == 0
+
+    def test_duplicates_coalesce_at_the_parent(
+        self, tmp_path, gated_backend, make_job
+    ):
+        backend = gated_backend()
+        job = make_job(backend.name)
+        with ClusterService(
+            cache_dir=tmp_path / "cache", config=_fast_config()
+        ) as cluster:
+            first = cluster.submit(job)
+            second = cluster.submit(job)
+            assert not first.coalesced
+            assert second.coalesced
+            assert second.shard == first.shard
+            release(backend)
+            # One execution, one outcome object, two waiters.
+            assert first.result(timeout=30) is second.result(timeout=30)
+            assert cluster.stats.coalesced == 1
+            assert cluster.stats.executed == 1
+
+    def test_cache_hit_after_completion(self, tmp_path, instant_backend, make_job):
+        job = make_job(instant_backend.name)
+        with ClusterService(
+            cache_dir=tmp_path / "cache", config=_fast_config()
+        ) as cluster:
+            cluster.run([job])
+            again = cluster.submit(job)
+            assert again.cache_hit
+            assert again.shard == -1  # never dispatched
+            assert again.result(timeout=5).cache_hit
+            assert cluster.stats.cache_hits == 1
+
+    def test_shards_share_one_cache(self, tmp_path, instant_backend, make_job):
+        """Both shard processes write back into the same cache directory."""
+        jobs = [make_job(instant_backend.name, tag=i) for i in range(8)]
+        cache_root = tmp_path / "cache"
+        with ClusterService(cache_dir=cache_root, config=_fast_config()) as cluster:
+            cluster.run(jobs)
+            shards_used = {
+                cluster.router.shard_for(job.job_hash()) for job in jobs
+            }
+            assert shards_used == {0, 1}  # the mix actually spanned shards
+        assert len(ResultCache(cache_root)) == len(jobs)
+
+    def test_backend_error_reaches_every_waiter(
+        self, tmp_path, failing_backend, make_job
+    ):
+        job = make_job(failing_backend.name)
+        with ClusterService(
+            cache_dir=tmp_path / "cache", config=_fast_config()
+        ) as cluster:
+            first = cluster.submit(job)
+            second = cluster.submit(job)
+            with pytest.raises(ValueError, match="injected failure"):
+                first.result(timeout=30)
+            with pytest.raises(ValueError, match="injected failure"):
+                second.result(timeout=30)
+            assert cluster.stats.failed == 1  # one unique job failed once
+
+    def test_closed_cluster_rejects_submissions(
+        self, tmp_path, instant_backend, make_job
+    ):
+        cluster = ClusterService(cache_dir=tmp_path / "cache", config=_fast_config())
+        cluster.close()
+        with pytest.raises(ServiceClosedError):
+            cluster.submit(make_job(instant_backend.name))
+        cluster.close()  # idempotent
+
+    def test_snapshot_aggregates_shards(self, tmp_path, instant_backend, make_job):
+        jobs = [make_job(instant_backend.name, tag=i) for i in range(6)]
+        with ClusterService(
+            cache_dir=tmp_path / "cache", config=_fast_config()
+        ) as cluster:
+            cluster.run(jobs)
+            snapshot = cluster.snapshot(wait=5.0)
+            assert snapshot["shard_count"] == 2
+            assert snapshot["inflight"] == 0
+            assert snapshot["stats"]["executed"] == len(jobs)
+            per_shard = [s["snapshot"] for s in snapshot["shards"]]
+            assert all(s is not None for s in per_shard)
+            # The shards' own executed counters add up to the cluster's.
+            assert sum(s["executed"] for s in per_shard) == len(jobs)
+            assert all("latency" in s for s in per_shard)
+
+    def test_simulator_duck_types_onto_the_cluster(
+        self, tmp_path, instant_backend, make_job
+    ):
+        """The ISSUE's surface requirement: ``Simulator(service=...)``
+        works with a cluster exactly as with a ``ServiceClient``."""
+        from repro.runtime import Simulator
+
+        jobs = [make_job(instant_backend.name, tag=i) for i in range(4)]
+        with ClusterService(
+            cache_dir=tmp_path / "cache", config=_fast_config()
+        ) as cluster:
+            simulator = Simulator(cache=None, service=cluster)
+            outcome = simulator.simulate(jobs[0])
+            assert outcome.job_hash == jobs[0].job_hash()
+            outcomes = simulator.simulate_many(jobs)
+            assert [o.job_hash for o in outcomes] == [j.job_hash() for j in jobs]
+            assert cluster.stats.executed == len(jobs)  # job 0 not re-run
+
+    def test_stats_dict_has_the_serve_cli_keys(self, tmp_path):
+        with ClusterService(
+            cache_dir=tmp_path / "cache", config=_fast_config()
+        ) as cluster:
+            stats = cluster.stats_dict()
+        for key in (
+            "submitted",
+            "executed",
+            "coalesced",
+            "cache_hits",
+            "coalescing_hit_rate",
+            "cache_hit_rate",
+            "restarts",
+        ):
+            assert key in stats
+
+
+# ----------------------------------------------------------------------
+# Supervision: crashes mid-burst.
+# ----------------------------------------------------------------------
+class TestSupervision:
+    def test_killed_shard_restarts_and_requeues(
+        self, tmp_path, gated_backend, make_job
+    ):
+        """The tentpole acceptance test: kill a shard mid-burst.
+
+        Jobs in flight on the killed shard are redispatched onto the
+        restarted incarnation; every ticket (coalesced ones included)
+        resolves to exactly one consistent outcome.
+        """
+        backend = gated_backend(touch=True)
+        jobs = [make_job(backend.name, tag=i) for i in range(8)]
+        with ClusterService(
+            cache_dir=tmp_path / "cache", config=_fast_config()
+        ) as cluster:
+            tickets = [cluster.submit(job) for job in jobs]
+            # Coalesced duplicates of the first two jobs ride along.
+            duplicates = [cluster.submit(jobs[0]), cluster.submit(jobs[1])]
+            assert all(t.coalesced for t in duplicates)
+
+            victim_index = cluster.router.shard_for(jobs[0].job_hash())
+            victim = cluster._handles[victim_index]
+            # Wait until the victim shard genuinely *started* simulating
+            # (worker_threads=1 → exactly one started marker per shard).
+            wait_for(
+                lambda: any(tmp_path.glob("started-*")),
+                message="a shard to start executing",
+            )
+            victim.process.kill()
+            wait_for(
+                lambda: cluster.restarts >= 1,
+                message="the supervisor to restart the killed shard",
+            )
+            release(backend)
+
+            outcomes = [t.result(timeout=60) for t in tickets]
+            assert [o.job_hash for o in outcomes] == [j.job_hash() for j in jobs]
+            # Coalesced waiters share the original future: same object.
+            assert duplicates[0].result(timeout=60) is outcomes[0]
+            assert duplicates[1].result(timeout=60) is outcomes[1]
+            assert cluster.restarts >= 1
+            assert cluster.stats.requeued >= 1
+            assert cluster.stats.failed == 0
+            # Replacement is a different process, same shard index.
+            replacement = cluster._handles[victim_index]
+            assert replacement is not victim
+            assert replacement.alive()
+
+    def test_crash_looping_shard_fails_its_jobs(self, tmp_path, make_job):
+        """A shard that dies on every incarnation is eventually given up on
+        and its waiters receive ShardFailedError instead of hanging."""
+
+        class ExitBackend(SimulationBackend):
+            def __init__(self, name):
+                self.name = name
+
+            def execute(self, job):
+                os._exit(3)  # kill the whole shard process, no cleanup
+
+        backend = ExitBackend(f"cluster-exit-{next(_LOCAL_COUNTER)}")
+        register_backend(backend)
+        job = make_job(backend.name)
+        # One shard owns everything; a huge heartbeat interval keeps pongs
+        # from marking doomed incarnations "productive" between crashes.
+        config = _fast_config(
+            shards=1,
+            heartbeat_interval=30.0,
+            max_restarts=2,
+            backoff_base=0.01,
+            backoff_cap=0.05,
+        )
+        with ClusterService(cache_dir=tmp_path / "cache", config=config) as cluster:
+            ticket = cluster.submit(job)
+            with pytest.raises(ShardFailedError):
+                ticket.result(timeout=60)
+            # The dead shard now rejects new submissions immediately.
+            with pytest.raises(ShardFailedError):
+                cluster.submit(make_job(backend.name, tag=99))
+            assert cluster.stats.failed >= 1
+
+
+# ----------------------------------------------------------------------
+# Durability: the daemon dies, the journal resumes the backlog.
+# ----------------------------------------------------------------------
+class TestJournalRecovery:
+    def test_daemon_restart_replays_unfinished_backlog(
+        self, tmp_path, gated_backend, make_job
+    ):
+        backend = gated_backend()
+        jobs = [make_job(backend.name, tag=i) for i in range(4)]
+        journal_path = tmp_path / "serve.jsonl"
+        cache_root = tmp_path / "cache"
+
+        first = ClusterService(
+            cache_dir=cache_root, config=_fast_config(), journal=journal_path
+        )
+        tickets = [first.submit(job) for job in jobs]
+        # Submissions are journaled before dispatch: all four on disk now.
+        assert journal_path.read_text().count('"submitted"') == 4
+        first.terminate()  # the daemon crashes; the gate never opened
+        for ticket in tickets:
+            with pytest.raises(ServiceClosedError):
+                ticket.result(timeout=5)
+
+        release(backend)  # the backlog may proceed after the restart
+        second = ClusterService(
+            cache_dir=cache_root, config=_fast_config(), journal=journal_path
+        )
+        try:
+            assert second.stats.recovered == 4
+            assert second.wait_idle(timeout=60), "recovered backlog never drained"
+            # Every replayed job completed and is durably cached: new
+            # submissions resolve instantly without touching a shard.
+            for job in jobs:
+                ticket = second.submit(job)
+                assert ticket.cache_hit
+                assert ticket.result(timeout=5).job_hash == job.job_hash()
+        finally:
+            second.close()
+
+    def test_completed_jobs_survive_restart_without_reexecution(
+        self, tmp_path, instant_backend, make_job
+    ):
+        """Cache-less cluster: completions ride in the journal itself."""
+        job = make_job(instant_backend.name)
+        journal_path = tmp_path / "serve.jsonl"
+
+        first = ClusterService(config=_fast_config(), journal=journal_path)
+        try:
+            outcome = first.run([job])[0]
+        finally:
+            first.close()
+
+        second = ClusterService(config=_fast_config(), journal=journal_path)
+        try:
+            assert second.stats.recovered == 0
+            ticket = second.submit(job)
+            assert ticket.cache_hit  # served from the journal replay
+            assert ticket.result(timeout=5).job_hash == outcome.job_hash
+            assert second.stats.journal_hits == 1
+            assert second.stats.executed == 0
+        finally:
+            second.close()
+
+    def test_fresh_journal_is_started_when_absent(
+        self, tmp_path, instant_backend, make_job
+    ):
+        journal_path = tmp_path / "fresh.jsonl"
+        with ClusterService(
+            cache_dir=tmp_path / "cache",
+            config=_fast_config(),
+            journal=journal_path,
+        ) as cluster:
+            cluster.run([make_job(instant_backend.name)])
+        text = journal_path.read_text()
+        assert text.count('"submitted"') == 1
+        assert text.count('"completed"') == 1

@@ -1,0 +1,141 @@
+"""MessageChannel framing: round-trips, EOF, corruption, thread-safety."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.cluster import MAX_FRAME_BYTES, MessageChannel, ProtocolError, channel_pair
+from repro.cluster.protocol import _HEADER, pack_frame
+
+
+class TestPackFrame:
+    def test_prefixes_length(self):
+        frame = pack_frame(b"hello")
+        (length,) = _HEADER.unpack(frame[: _HEADER.size])
+        assert length == 5
+        assert frame[_HEADER.size :] == b"hello"
+
+    def test_rejects_oversized_payload(self):
+        class HugeBytes(bytes):
+            def __len__(self):
+                return MAX_FRAME_BYTES + 1
+
+        with pytest.raises(ProtocolError):
+            pack_frame(HugeBytes())
+
+
+class TestMessageChannel:
+    def test_round_trip(self):
+        a, b = channel_pair()
+        try:
+            a.send({"kind": "ping", "seq": 7})
+            assert b.recv() == {"kind": "ping", "seq": 7}
+            b.send({"kind": "pong", "seq": 7, "snapshot": {"queue_depth": 0}})
+            assert a.recv()["snapshot"] == {"queue_depth": 0}
+        finally:
+            a.close()
+            b.close()
+
+    def test_many_messages_in_order(self):
+        a, b = channel_pair()
+        try:
+            for seq in range(100):
+                a.send({"kind": "job", "seq": seq})
+            received = [b.recv()["seq"] for _ in range(100)]
+            assert received == list(range(100))
+        finally:
+            a.close()
+            b.close()
+
+    def test_large_payload(self):
+        a, b = channel_pair()
+        try:
+            blob = b"x" * (2 * 1024 * 1024)
+            writer = threading.Thread(
+                target=a.send, args=({"kind": "result", "blob": blob},)
+            )
+            writer.start()
+            message = b.recv()
+            writer.join(5)
+            assert message["blob"] == blob
+        finally:
+            a.close()
+            b.close()
+
+    def test_eof_on_closed_peer(self):
+        a, b = channel_pair()
+        a.close()
+        with pytest.raises(EOFError):
+            b.recv()
+        b.close()
+
+    def test_eof_mid_frame(self):
+        """A peer dying between header and payload is EOF, not garbage."""
+        parent_sock, child_sock = socket.socketpair()
+        channel = MessageChannel(parent_sock)
+        try:
+            child_sock.sendall(_HEADER.pack(1000) + b"partial")
+            child_sock.close()
+            with pytest.raises(EOFError):
+                channel.recv()
+        finally:
+            channel.close()
+
+    def test_corrupt_length_prefix_rejected(self):
+        """A 4 GiB length claim must raise, not attempt the allocation."""
+        parent_sock, child_sock = socket.socketpair()
+        channel = MessageChannel(parent_sock)
+        try:
+            child_sock.sendall(_HEADER.pack(MAX_FRAME_BYTES + 1))
+            with pytest.raises(ProtocolError):
+                channel.recv()
+        finally:
+            channel.close()
+            child_sock.close()
+
+    def test_non_dict_message_rejected(self):
+        parent_sock, child_sock = socket.socketpair()
+        channel = MessageChannel(parent_sock)
+        try:
+            child_sock.sendall(pack_frame(__import__("pickle").dumps(["not a dict"])))
+            with pytest.raises(ProtocolError):
+                channel.recv()
+        finally:
+            channel.close()
+            child_sock.close()
+
+    def test_concurrent_senders_never_interleave(self):
+        """Frames from many threads arrive whole (the send lock works)."""
+        a, b = channel_pair()
+        per_thread = 50
+        threads = [
+            threading.Thread(
+                target=lambda t=t: [
+                    a.send({"kind": "job", "sender": t, "seq": i})
+                    for i in range(per_thread)
+                ]
+            )
+            for t in range(4)
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            received = [b.recv() for _ in range(4 * per_thread)]
+            for thread in threads:
+                thread.join(5)
+            # Every message intact, per-sender order preserved.
+            for t in range(4):
+                sequence = [m["seq"] for m in received if m["sender"] == t]
+                assert sequence == list(range(per_thread))
+        finally:
+            a.close()
+            b.close()
+
+    def test_close_is_idempotent(self):
+        a, b = channel_pair()
+        a.close()
+        a.close()
+        b.close(shutdown=False)
+        b.close()
+        assert a.closed and b.closed

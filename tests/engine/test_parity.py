@@ -19,13 +19,13 @@ enforces that across the experiment workloads:
   :class:`SimulationLimitError` at the same cycle with the same report.
 """
 
-import os
 
 import numpy as np
 import pytest
 
 from repro.analysis.network_perf import representative_crop
 from repro.compiler import compile_workload
+from repro.config import get_config
 from repro.core.params import FeatureSet, ablation_feature_sets
 from repro.sim import SimulationLimitError
 from repro.system import AcceleratorSystem, datamaestro_evaluation_system
@@ -36,7 +36,7 @@ from repro.workloads.synthetic import stratified_subset, synthetic_suite
 DESIGN = datamaestro_evaluation_system()
 ENGINES = ("lockstep", "event")
 
-FULL_SUITE = os.environ.get("REPRO_FULL_SUITE", "0") not in ("0", "", "false")
+FULL_SUITE = get_config().full_suite
 #: Crops per network in the default (subset) run.
 CROPS_PER_NETWORK = 3
 

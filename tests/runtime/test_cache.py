@@ -195,3 +195,66 @@ class TestPrune:
         cache = ResultCache(tmp_path)
         self._fill(cache, 2)
         assert cache.stats()["size_bytes"] == cache.size_bytes() > 0
+
+
+class TestConcurrentWriters:
+    """The guarantees the sharded cluster leans on: many processes write
+    the same cache directory; entries are atomic and self-healing."""
+
+    @staticmethod
+    def _outcome(tag):
+        job = SimJob(workload=GemmWorkload(name=f"cc_{tag}", m=8, n=8, k=8))
+        return job, Simulator(cache=None).simulate(job)
+
+    def test_racing_writers_on_one_key_install_a_whole_entry(self, tmp_path):
+        import threading
+
+        cache = ResultCache(tmp_path)
+        job, outcome = self._outcome(0)
+        key = job.job_hash()
+        threads = [
+            threading.Thread(target=cache.put, args=(key, outcome))
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10)
+        # Exactly one entry, readable, no stray temp files left behind.
+        cached = cache.get(key)
+        assert cached is not None and cached.cache_hit
+        assert len(cache) == 1
+        assert not list(cache.directory.glob("*.tmp"))
+
+    def test_multiprocess_writers_share_one_directory(self, tmp_path):
+        """Forked children (the shard-worker shape) write back concurrently."""
+        import multiprocessing
+
+        pairs = [self._outcome(tag) for tag in range(4)]
+        context = multiprocessing.get_context("fork")
+
+        def write(root, key, outcome):
+            ResultCache(root).put(key, outcome)
+
+        processes = [
+            context.Process(args=(tmp_path, job.job_hash(), outcome), target=write)
+            for job, outcome in pairs
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(30)
+            assert process.exitcode == 0
+        cache = ResultCache(tmp_path)
+        assert len(cache) == len(pairs)
+        for job, _ in pairs:
+            assert cache.get(job.job_hash()) is not None
+
+    def test_put_survives_directory_deleted_underneath(self, tmp_path):
+        import shutil
+
+        cache = ResultCache(tmp_path)
+        job, outcome = self._outcome(9)
+        shutil.rmtree(cache.directory)  # external rm -rf mid-flight
+        cache.put(job.job_hash(), outcome)  # recreated + retried, not raised
+        assert cache.get(job.job_hash()) is not None

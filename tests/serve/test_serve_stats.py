@@ -1,0 +1,108 @@
+"""Structured service stats: the latency histogram and ``snapshot()``."""
+
+import asyncio
+
+import pytest
+
+from repro.serve import (
+    LatencyHistogram,
+    ServiceConfig,
+    ServiceClient,
+    SimulationService,
+)
+from repro.serve.service import LATENCY_BUCKETS
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        histogram = LatencyHistogram()
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        assert histogram.quantile(0.5) == 0.0
+
+    def test_observations_land_in_cumulative_buckets(self):
+        histogram = LatencyHistogram(bounds=(0.01, 0.1, 1.0))
+        histogram.observe(0.005)  # <= 0.01
+        histogram.observe(0.05)  # <= 0.1
+        histogram.observe(0.5)  # <= 1.0
+        histogram.observe(5.0)  # overflow
+        assert histogram.counts == [1, 1, 1, 1]
+        assert histogram.count == 4
+        assert histogram.mean == pytest.approx((0.005 + 0.05 + 0.5 + 5.0) / 4)
+
+    def test_quantile_interpolates_within_bucket(self):
+        histogram = LatencyHistogram(bounds=(1.0, 2.0))
+        for _ in range(10):
+            histogram.observe(1.5)  # all in the (1.0, 2.0] bucket
+        p50 = histogram.quantile(0.5)
+        assert 1.0 <= p50 <= 2.0
+
+    def test_quantile_overflow_clamps_to_last_bound(self):
+        histogram = LatencyHistogram(bounds=(0.5, 1.0))
+        histogram.observe(100.0)
+        assert histogram.quantile(0.99) == 1.0
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().quantile(1.5)
+
+    def test_value_equality(self):
+        first, second = LatencyHistogram(), LatencyHistogram()
+        assert first == second
+        first.observe(0.2)
+        assert first != second
+        second.observe(0.2)
+        assert first == second
+
+    def test_as_dict_shape(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.02)
+        summary = histogram.as_dict()
+        assert summary["count"] == 1
+        assert summary["mean_seconds"] == pytest.approx(0.02)
+        assert set(summary) >= {"p50_seconds", "p90_seconds", "p99_seconds"}
+        # One bucket row per bound plus the open-ended overflow row.
+        assert len(summary["buckets"]) == len(LATENCY_BUCKETS) + 1
+        assert summary["buckets"][-1]["le"] is None
+
+
+class TestServiceSnapshot:
+    def test_snapshot_counts_and_latency(self, stub_backend, make_job):
+        backend = stub_backend()
+        jobs = [make_job(backend.name, tag=i) for i in range(4)]
+
+        async def scenario():
+            async with SimulationService(
+                config=ServiceConfig(max_workers=2)
+            ) as service:
+                tickets = [service.submit(job) for job in jobs]
+                duplicate = service.submit(jobs[0])
+                for ticket in tickets + [duplicate]:
+                    await ticket.outcome()
+                return service.snapshot()
+
+        snapshot = asyncio.run(scenario())
+        assert snapshot["queue_depth"] == 0
+        assert snapshot["inflight"] == 0
+        assert snapshot["submitted"] == 5
+        assert snapshot["executed"] == 4
+        assert snapshot["coalesced"] == 1
+        # Four completions → four latency observations.
+        assert snapshot["latency"]["count"] == 4
+        assert snapshot["latency"]["mean_seconds"] > 0
+        # Every execution is attributed to a worker slot.
+        assert sum(snapshot["per_worker_executed"].values()) == 4
+        assert all(index in (0, 1) for index in snapshot["per_worker_executed"])
+
+    def test_client_snapshot_readable_after_close(self, stub_backend, make_job):
+        backend = stub_backend()
+        client = ServiceClient(config=ServiceConfig(max_workers=1))
+        try:
+            client.run([make_job(backend.name, tag=i) for i in range(3)])
+            live = client.snapshot()
+            assert live["executed"] == 3
+        finally:
+            client.close()
+        after = client.snapshot()
+        assert after["executed"] == 3
+        assert after["latency"]["count"] == 3

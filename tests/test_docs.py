@@ -121,11 +121,32 @@ class TestKnobTable:
         text = (DOCS / "ARCHITECTURE.md").read_text(encoding="utf-8")
         for knob in (
             "REPRO_CACHE_DIR",
+            "REPRO_JOURNAL_DIR",
+            "REPRO_SERVE_SHARDS",
             "REPRO_FULL_SUITE",
             "REPRO_STRICT_BENCH",
+            "REPRO_BENCH_OUT",
             "DEFAULT_CYCLE_BUDGET",
         ):
             assert knob in text, f"{knob} missing from the ARCHITECTURE.md knob table"
+
+    def test_every_config_env_var_is_documented(self):
+        """The typed config is the code-side source of truth; every ENV_*
+        constant it exports must appear in the knob table."""
+        import repro.config as config
+
+        text = (DOCS / "ARCHITECTURE.md").read_text(encoding="utf-8")
+        env_names = [
+            getattr(config, name)
+            for name in config.__all__
+            if name.startswith("ENV_")
+        ]
+        assert env_names, "repro.config exports no ENV_* constants?"
+        for env_name in env_names:
+            assert env_name in text, (
+                f"{env_name} (repro.config) missing from the "
+                f"ARCHITECTURE.md knob table"
+            )
 
     def test_documented_knobs_exist_in_code(self):
         from repro.runtime.cache import CACHE_DIR_ENV
@@ -162,3 +183,19 @@ class TestCoverageOfDocsTree:
             "cache prune",
         ):
             assert needle in text, f"SERVE.md lost its {needle!r} coverage"
+
+    def test_serve_doc_covers_the_cluster(self):
+        """The sharding section documents every cluster guarantee the
+        tests in ``tests/cluster/`` enforce."""
+        text = (DOCS / "SERVE.md").read_text(encoding="utf-8")
+        for needle in (
+            "Sharding across processes",
+            "ShardRouter",
+            "ShardFailedError",
+            "requeue",
+            "journal",
+            "--shards",
+            "--stats-interval",
+            "shard_scaling",
+        ):
+            assert needle in text, f"SERVE.md lost its cluster {needle!r} coverage"
