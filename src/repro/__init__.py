@@ -25,6 +25,9 @@ the sub-packages hold the full API:
 * :mod:`repro.cluster` — the service sharded across supervised worker
   processes: hash routing, heartbeat/restart supervision and a durable
   job journal (``docs/SERVE.md``);
+* :mod:`repro.obs` — the unified telemetry layer: metrics registry,
+  Prometheus ``/metrics`` exporter, per-job trace timelines and the live
+  ops dashboard (``docs/OBSERVABILITY.md``);
 * :mod:`repro.config` — the typed :class:`~repro.config.RuntimeConfig`
   holding every environment knob;
 * :mod:`repro.baselines` — SotA comparator models;
@@ -48,7 +51,7 @@ from .core.params import FeatureSet, StreamerDesign, StreamerMode, StreamerRunti
 from .core.streamer import DataMaestro
 from .memory.addressing import AddressingMode, BankGeometry
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 from .engine import DEFAULT_ENGINE, EVENT_ENGINE, LOCKSTEP_ENGINE, available_engines
 from .runtime import BatchRunner, SimJob, SimOutcome, Simulator, simulate

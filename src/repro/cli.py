@@ -28,6 +28,14 @@ Provides quick access to the main entry points without writing Python:
   cluster: each shard owns a private GIL, a supervisor restarts crashed
   workers, and the durable job journal replays the unfinished backlog after
   a daemon restart (see ``docs/SERVE.md``);
+* ``python -m repro.cli serve gemm:64x64x64 --repeat 32 --metrics-port 0
+  --trace run.json --stats-interval 2 --stats-format json`` — the same
+  stream with the full observability surface: a loopback HTTP endpoint
+  serving Prometheus ``/metrics``, a JSON ``/snapshot``, a ``/config``
+  report and a live dashboard, plus a Chrome trace-event timeline written
+  on exit (see ``docs/OBSERVABILITY.md``);
+* ``python -m repro.cli metrics --once`` — print one Prometheus text scrape
+  of the process-wide registry (or serve it over HTTP without ``--once``);
 * ``python -m repro.cli cache info|prune|clear`` — inspect or bound the
   on-disk result cache (``prune`` evicts least-recently-used entries);
 * ``python -m repro.cli selftest`` — tiny cached GeMM end-to-end smoke test;
@@ -45,6 +53,7 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import sys
 import tempfile
 from typing import List, Optional
@@ -549,6 +558,14 @@ def _format_stats_line(snapshot: dict) -> str:
     return line
 
 
+def _emit_stats(snapshot: dict, fmt: str) -> None:
+    """Print one periodic-stats record: text line or a JSON object line."""
+    if fmt == "json":
+        print(json.dumps(snapshot, default=str, sort_keys=True))
+    else:
+        print(f"  {_format_stats_line(snapshot)}")
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serve a workload stream through the asynchronous simulation service."""
     import threading
@@ -585,6 +602,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.stats_interval is not None and args.stats_interval <= 0:
         print("error: --stats-interval must be positive", file=sys.stderr)
         return 2
+    # --metrics-port on the command line always wins; otherwise the env
+    # knob enables the exporter when non-zero.  An *explicit* 0 asks for
+    # an ephemeral port (the bound port is printed), while an unset flag
+    # with REPRO_METRICS_PORT=0 keeps the exporter off entirely.
+    metrics_port = args.metrics_port
+    if metrics_port is None and runtime_config.metrics_port:
+        metrics_port = runtime_config.metrics_port
+    if metrics_port is not None and not 0 <= metrics_port <= 65535:
+        print("error: --metrics-port must be in [0, 65535]", file=sys.stderr)
+        return 2
+    trace_path = args.trace if args.trace is not None else runtime_config.trace_path
     if args.journal is not None and shards == 0:
         print(
             "error: --journal needs the sharded service (--shards N, N >= 1)",
@@ -597,6 +625,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
             "inside each shard process); ignoring it",
             file=sys.stderr,
         )
+    recorder = None
+    if trace_path is not None:
+        from .obs.trace import install_tracer
+
+        # Installed before the service exists so admission/replay of the
+        # very first submissions is already on the timeline.
+        recorder = install_tracer()
     cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
     features = _features_from_args(args)
     jobs = [
@@ -643,13 +678,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
             ),
             on_event=on_event,
         )
+    metrics_server = None
+    if metrics_port is not None:
+        from .obs.http import MetricsServer
+
+        metrics_server = MetricsServer(
+            snapshot_fn=client.snapshot, port=metrics_port
+        ).start()
+        print(
+            f"metrics: {metrics_server.url}/metrics "
+            f"(snapshot {metrics_server.url}/snapshot, "
+            f"dashboard {metrics_server.url}/)"
+        )
     stop_stats = threading.Event()
     if args.stats_interval:
 
         def _dump_stats() -> None:
             while not stop_stats.wait(args.stats_interval):
                 try:
-                    print(f"  {_format_stats_line(client.snapshot())}")
+                    _emit_stats(client.snapshot(), args.stats_format)
                 except Exception:  # noqa: BLE001 — telemetry must not kill serving
                     break
 
@@ -668,9 +715,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 print(f"  backpressure: {error}", file=sys.stderr)
                 return 1
         outcomes = [ticket.result() for ticket in tickets]
+        if args.stats_interval:
+            # Guarantee at least one stats record even when the stream
+            # drains faster than the first interval tick.
+            _emit_stats(client.snapshot(), args.stats_format)
     finally:
         stop_stats.set()
+        if metrics_server is not None:
+            metrics_server.close()
         client.close(drain=True)
+        if recorder is not None:
+            from .obs.trace import uninstall_tracer
+
+            uninstall_tracer()
+            count = recorder.export(trace_path)
+            print(f"trace: {count} events -> {trace_path} (view in Perfetto)")
     unique = {}
     for outcome in outcomes:
         unique.setdefault(outcome.job_hash, outcome)
@@ -716,6 +775,50 @@ def cmd_cache(args: argparse.Namespace) -> int:
         f"{cache.directory}; {report.remaining} entries "
         f"({report.bytes_remaining} bytes) remain"
     )
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Expose process-wide telemetry over HTTP, or print one scrape."""
+    from .obs.exposition import render
+    from .obs.metrics import get_registry
+    from .runtime import ResultCache
+
+    if args.port is not None and not 0 <= args.port <= 65535:
+        print("error: --port must be in [0, 65535]", file=sys.stderr)
+        return 2
+    if args.duration is not None and args.duration <= 0:
+        print("error: --duration must be positive", file=sys.stderr)
+        return 2
+    registry = get_registry()
+    # No service snapshot here, so the cache reports through the registry
+    # (a serving daemon instead carries cache stats inside its snapshot).
+    cache = ResultCache(args.cache_dir or default_cache_dir())
+    cache.register_metrics(registry)
+    if args.once:
+        sys.stdout.write(render(registry.collect()))
+        return 0
+    import time
+
+    from .config import get_config
+    from .obs.http import MetricsServer
+
+    port = args.port if args.port is not None else get_config().metrics_port
+    server = MetricsServer(registry=registry, port=port).start()
+    print(
+        f"metrics: {server.url}/metrics (config {server.url}/config, "
+        f"dashboard {server.url}/) — Ctrl-C to stop"
+    )
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
     return 0
 
 
@@ -1021,6 +1124,31 @@ def build_parser() -> argparse.ArgumentParser:
         "hit rates, latency percentiles, live shards)",
     )
     serve.add_argument(
+        "--stats-format",
+        choices=("text", "json"),
+        default="text",
+        help="format of --stats-interval records: human-readable text or "
+        "one JSON snapshot object per line (default: text)",
+    )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="expose /metrics (Prometheus text), /snapshot, /config and the "
+        "live dashboard on this loopback port while serving (0 = ephemeral, "
+        "the bound port is printed; default: $REPRO_METRICS_PORT, else off; "
+        "see docs/OBSERVABILITY.md)",
+    )
+    serve.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record the per-job span timeline and export Chrome trace-event "
+        "JSON to PATH on exit (open in Perfetto; default: $REPRO_TRACE, "
+        "else off)",
+    )
+    serve.add_argument(
         "--events",
         action="store_true",
         help="stream per-job lifecycle/progress events to stdout "
@@ -1085,6 +1213,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="prune: keep at most BYTES of cached outcomes",
     )
     cache.set_defaults(func=cmd_cache)
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="expose process-wide telemetry over HTTP, or print one "
+        "Prometheus scrape (see docs/OBSERVABILITY.md)",
+    )
+    metrics.add_argument(
+        "--once",
+        action="store_true",
+        help="print one Prometheus text scrape to stdout and exit",
+    )
+    metrics.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="bind port (0 = ephemeral; default: $REPRO_METRICS_PORT, else 0)",
+    )
+    metrics.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="serve for a fixed time then exit (default: until Ctrl-C)",
+    )
+    metrics.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="result cache whose entry count/size to expose (default: "
+        "$REPRO_CACHE_DIR or ~/.cache/repro-datamaestro)",
+    )
+    metrics.set_defaults(func=cmd_metrics)
 
     selftest = subparsers.add_parser(
         "selftest", help="tiny cached GeMM end-to-end smoke test"

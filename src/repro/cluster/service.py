@@ -49,6 +49,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import get_tracer
 from ..runtime.cache import ResultCache
 from ..runtime.job import SimJob
 from ..runtime.outcome import SimOutcome
@@ -124,25 +126,73 @@ class ClusterConfig:
         )
 
 
-@dataclass
 class ClusterStats:
-    """Monotonic counters of one cluster instance."""
+    """Monotonic counters of one cluster instance.
 
-    submitted: int = 0
-    coalesced: int = 0
-    #: Parent-side result-cache hits (never dispatched).
-    cache_hits: int = 0
-    #: Served from the journal's replayed completions (cache-less mode).
-    journal_hits: int = 0
-    #: Jobs a shard actually simulated.
-    executed: int = 0
-    #: Jobs a shard resolved from the shared cache (raced writers etc.).
-    shard_cache_hits: int = 0
-    failed: int = 0
-    #: In-flight jobs redispatched after a shard crash.
-    requeued: int = 0
-    #: Unfinished journal entries resubmitted at startup.
-    recovered: int = 0
+    Backed by a per-cluster :class:`~repro.obs.metrics.MetricsRegistry`
+    exactly like the thread service's ``ServiceStats``: reads return plain
+    ints, ``stats.executed += 1`` routes the delta into the backing
+    counter, and monotonicity is enforced (a decrease raises
+    ``ValueError``).
+    """
+
+    _COUNTERS = {
+        "submitted": ("repro_submitted_total", "Jobs submitted to the cluster."),
+        "coalesced": (
+            "repro_coalesced_total",
+            "Submissions that rode an identical in-flight job.",
+        ),
+        # Parent-side result-cache hits (never dispatched).
+        "cache_hits": (
+            "repro_cache_hits_total",
+            "Submissions resolved from the parent-side result cache.",
+        ),
+        # Served from the journal's replayed completions (cache-less mode).
+        "journal_hits": (
+            "repro_journal_hits_total",
+            "Submissions served from journal-replayed completions.",
+        ),
+        # Jobs a shard actually simulated.
+        "executed": ("repro_executed_total", "Jobs a shard actually simulated."),
+        # Jobs a shard resolved from the shared cache (raced writers etc.).
+        "shard_cache_hits": (
+            "repro_shard_cache_hits_total",
+            "Jobs a shard resolved from the shared cache.",
+        ),
+        "failed": ("repro_failed_total", "Jobs whose shard raised."),
+        # In-flight jobs redispatched after a shard crash.
+        "requeued": (
+            "repro_requeued_total",
+            "In-flight jobs redispatched after a shard crash.",
+        ),
+        # Unfinished journal entries resubmitted at startup.
+        "recovered": (
+            "repro_journal_recovered_total",
+            "Unfinished journal entries replayed at startup.",
+        ),
+    }
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            attr: self.registry.counter(name, help)
+            for attr, (name, help) in self._COUNTERS.items()
+        }
+
+    def __getattr__(self, name: str):
+        counters = self.__dict__.get("_counters")
+        if counters and name in counters:
+            return counters[name].value
+        raise AttributeError(
+            f"{type(self).__name__!s} object has no attribute {name!r}"
+        )
+
+    def __setattr__(self, name: str, value) -> None:
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            counters[name].inc(value - counters[name].value)
+            return
+        object.__setattr__(self, name, value)
 
     @property
     def coalescing_hit_rate(self) -> float:
@@ -242,6 +292,13 @@ class ClusterService:
         self.cache = cache
         self.config = config or ClusterConfig()
         self.stats = ClusterStats()
+        #: The per-cluster metrics registry backing :attr:`stats`.
+        self.metrics = self.stats.registry
+        self.metrics.gauge(
+            "repro_inflight",
+            "Unique jobs between acceptance and settlement.",
+            fn=self.inflight,
+        )
         self.router = ShardRouter(self.config.shards)
         if journal is not None and not isinstance(journal, JobJournal):
             journal = JobJournal(Path(journal).expanduser())
@@ -416,11 +473,14 @@ class ClusterService:
             if self._closed:
                 raise ServiceClosedError("cluster is closed")
 
+            tracer = get_tracer()
             entry = self._inflight.get(key)
             if entry is not None:
                 entry.waiters += 1
                 self.stats.submitted += 1
                 self.stats.coalesced += 1
+                if tracer is not None:
+                    tracer.instant("coalesced", key, client=client)
                 return ClusterTicket(job, key, client, True, False, entry.shard, entry.future)
 
             replayed = self._completed_from_journal.get(key)
@@ -430,6 +490,10 @@ class ClusterService:
                 future: "Future[SimOutcome]" = Future()
                 replayed.cache_hit = True
                 future.set_result(replayed)
+                if tracer is not None:
+                    tracer.begin("job", key, client=client)
+                    tracer.instant("journal_hit", key)
+                    tracer.end("job", key, outcome="journal_hit")
                 return ClusterTicket(job, key, client, False, True, -1, future)
 
             if self.cache is not None:
@@ -439,6 +503,10 @@ class ClusterService:
                     self.stats.cache_hits += 1
                     future = Future()
                     future.set_result(hit)
+                    if tracer is not None:
+                        tracer.begin("job", key, client=client)
+                        tracer.instant("cache_hit", key)
+                        tracer.end("job", key, outcome="cache_hit")
                     return ClusterTicket(job, key, client, False, True, -1, future)
 
             shard = self.router.shard_for(key)
@@ -464,6 +532,11 @@ class ClusterService:
             handle = self._handles[shard]
         # The send happens outside the lock (socket I/O); a failed send is
         # recovered by the supervisor's redispatch when the shard restarts.
+        tracer = get_tracer()
+        if tracer is not None:
+            tracer.begin("job", key, client=client, workload=job.workload.name)
+            tracer.instant("shard_routed", key, shard=shard)
+            tracer.begin("dispatched", key, shard=shard)
         handle.dispatch(entry.seq, key, job)
         return ClusterTicket(job, key, client, False, False, shard, entry.future)
 
@@ -524,6 +597,15 @@ class ClusterService:
                         self._completed_from_journal[entry.key] = outcome
             else:
                 self.stats.failed += 1
+        tracer = get_tracer()
+        if tracer is not None:
+            tracer.maybe_end("dispatched", entry.key)
+            tracer.end(
+                "job",
+                entry.key,
+                outcome="finished" if outcome is not None else "failed",
+                waiters=entry.waiters,
+            )
         if outcome is not None:
             if not entry.future.done():
                 entry.future.set_result(outcome)
@@ -538,7 +620,10 @@ class ClusterService:
             entries = [e for e in self._pending.values() if e.shard == index]
             handle = self._handles[index]
             self.stats.requeued += len(entries)
+        tracer = get_tracer()
         for entry in sorted(entries, key=lambda e: e.seq):
+            if tracer is not None:
+                tracer.instant("requeued", entry.key, shard=index)
             handle.dispatch(entry.seq, entry.key, entry.job)
 
     def _fail_shard(self, index: int, reason: str) -> None:

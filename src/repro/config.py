@@ -37,9 +37,12 @@ __all__ = [
     "ENV_CACHE_DIR",
     "ENV_FULL_SUITE",
     "ENV_JOURNAL_DIR",
+    "ENV_METRICS_PORT",
     "ENV_SERVE_SHARDS",
     "ENV_STRICT_BENCH",
+    "ENV_TRACE",
     "RuntimeConfig",
+    "config_report",
     "get_config",
     "override",
     "reset_config",
@@ -58,6 +61,10 @@ ENV_SERVE_SHARDS = "REPRO_SERVE_SHARDS"
 ENV_JOURNAL_DIR = "REPRO_JOURNAL_DIR"
 #: Directory where the benchmark JSON reports land (default: repo root).
 ENV_BENCH_OUT = "REPRO_BENCH_OUT"
+#: Default port of the serve telemetry endpoint (0 = exporter disabled).
+ENV_METRICS_PORT = "REPRO_METRICS_PORT"
+#: Chrome trace-event JSON output path (unset = tracing disabled).
+ENV_TRACE = "REPRO_TRACE"
 
 
 def _parse_bool(value: Optional[str]) -> bool:
@@ -97,6 +104,14 @@ class RuntimeConfig:
     bench_out:
         Directory the ``BENCH_*.json`` reports are written to; ``None``
         means the repository root (``$REPRO_BENCH_OUT``).
+    metrics_port:
+        Default port for the serve telemetry endpoint; ``0`` keeps the
+        exporter off unless ``--metrics-port`` asks for one
+        (``$REPRO_METRICS_PORT``).
+    trace_path:
+        When set, ``repro serve`` records a per-job span timeline and
+        exports it as Chrome trace-event JSON at this path on exit
+        (``$REPRO_TRACE``).
     """
 
     cache_dir: Path = field(default_factory=_default_cache_dir)
@@ -105,10 +120,14 @@ class RuntimeConfig:
     strict_bench: bool = False
     serve_shards: int = 0
     bench_out: Optional[Path] = None
+    metrics_port: int = 0
+    trace_path: Optional[Path] = None
 
     def __post_init__(self) -> None:
         if self.serve_shards < 0:
             raise ValueError("serve_shards must be non-negative")
+        if not 0 <= self.metrics_port <= 65535:
+            raise ValueError("metrics_port must be in [0, 65535]")
         if self.journal_dir is None:
             object.__setattr__(self, "journal_dir", self.cache_dir / "journal")
 
@@ -129,6 +148,14 @@ class RuntimeConfig:
                 f"{ENV_SERVE_SHARDS}={shards_text!r} is not an integer"
             ) from error
         bench_out = Path(env[ENV_BENCH_OUT]) if env.get(ENV_BENCH_OUT) else None
+        port_text = env.get(ENV_METRICS_PORT, "")
+        try:
+            metrics_port = int(port_text) if port_text else 0
+        except ValueError as error:
+            raise ValueError(
+                f"{ENV_METRICS_PORT}={port_text!r} is not an integer"
+            ) from error
+        trace_path = Path(env[ENV_TRACE]) if env.get(ENV_TRACE) else None
         return cls(
             cache_dir=cache_dir,
             journal_dir=journal_dir,
@@ -136,6 +163,8 @@ class RuntimeConfig:
             strict_bench=_parse_bool(env.get(ENV_STRICT_BENCH)),
             serve_shards=serve_shards,
             bench_out=bench_out,
+            metrics_port=metrics_port,
+            trace_path=trace_path,
         )
 
     def with_overrides(self, **changes: object) -> "RuntimeConfig":
@@ -174,6 +203,42 @@ def reset_config() -> None:
     """Drop any pinned configuration; ``get_config`` reads the env again."""
     global _PINNED
     _PINNED = None
+
+
+#: Field name → environment variable, for :func:`config_report`.
+_FIELD_ENV = {
+    "cache_dir": ENV_CACHE_DIR,
+    "journal_dir": ENV_JOURNAL_DIR,
+    "full_suite": ENV_FULL_SUITE,
+    "strict_bench": ENV_STRICT_BENCH,
+    "serve_shards": ENV_SERVE_SHARDS,
+    "bench_out": ENV_BENCH_OUT,
+    "metrics_port": ENV_METRICS_PORT,
+    "trace_path": ENV_TRACE,
+}
+
+
+def config_report() -> Dict[str, object]:
+    """Defaults vs runtime values, per field — the ``/config`` payload.
+
+    Each field row carries the dataclass default, the value the active
+    configuration resolves to, the backing environment variable, and an
+    ``overridden`` flag (true when the runtime value differs from the
+    default — whether it came from the environment or a pinned config).
+    """
+    defaults = RuntimeConfig()
+    active = get_config()
+    rows: Dict[str, object] = {}
+    for spec in fields(RuntimeConfig):
+        default_value = getattr(defaults, spec.name)
+        active_value = getattr(active, spec.name)
+        rows[spec.name] = {
+            "env": _FIELD_ENV.get(spec.name),
+            "default": str(default_value) if isinstance(default_value, Path) else default_value,
+            "value": str(active_value) if isinstance(active_value, Path) else active_value,
+            "overridden": active_value != default_value,
+        }
+    return {"pinned": _PINNED is not None, "fields": rows}
 
 
 @contextmanager

@@ -31,12 +31,31 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Union
 
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from .base import (
     EVENT_ENGINE,
     SimulationEngine,
     supports_event_protocol,
     supports_macro_protocol,
 )
+
+
+def _record_engine_run(jumps: int, skipped: int) -> None:
+    """Fold one drive() into the process-wide registry (post-loop, cheap)."""
+    registry = get_registry()
+    registry.counter(
+        "repro_engine_runs_total", "Simulations driven by the event engine."
+    ).inc()
+    if jumps:
+        registry.counter(
+            "repro_engine_macro_jumps_total",
+            "Steady-span macro jumps taken across all engine runs.",
+        ).inc(jumps)
+        registry.counter(
+            "repro_engine_macro_cycles_skipped_total",
+            "Cycles bulk-advanced by the macro fast path across all runs.",
+        ).inc(skipped)
 
 
 class EventDrivenEngine(SimulationEngine):
@@ -72,50 +91,71 @@ class EventDrivenEngine(SimulationEngine):
                 "advance); use the lockstep engine instead"
             )
         macro = self.macro_stepping and supports_macro_protocol(target)
+        tracer = get_tracer()
+        if tracer is not None:
+            tracer.begin(
+                "engine", describe, cat="engine", engine=self.name, macro=macro
+            )
+        jumps = 0
+        skipped = 0
         cycles = 0
         busy = True
-        while busy:
-            if cycles >= max_cycles:
-                raise self._budget_error(describe, cycles, max_cycles, detail)
-            busy = target.step()
-            cycles += 1
-            if progress_callback is not None and cycles % progress_interval == 0:
-                progress_callback(cycles)
-            if busy and macro:
-                # Active steady state: bulk-advance whole verified periods.
-                span = target.steady_span(max_cycles - cycles)
+        try:
+            while busy:
+                if cycles >= max_cycles:
+                    raise self._budget_error(describe, cycles, max_cycles, detail)
+                busy = target.step()
+                cycles += 1
+                if progress_callback is not None and cycles % progress_interval == 0:
+                    progress_callback(cycles)
+                if busy and macro:
+                    # Active steady state: bulk-advance whole verified periods.
+                    span = target.steady_span(max_cycles - cycles)
+                    if span > 0:
+                        target.advance_active(span)
+                        previous = cycles
+                        cycles += span
+                        jumps += 1
+                        skipped += span
+                        if tracer is not None:
+                            tracer.instant(
+                                "macro_jump", describe, cat="engine", span=span
+                            )
+                        if (
+                            progress_callback is not None
+                            and cycles // progress_interval
+                            > previous // progress_interval
+                        ):
+                            progress_callback(cycles)
+                        continue
+                if not busy or target.last_step_activity:
+                    continue
+
+                # Fixpoint: nothing moved this cycle, so nothing can move until
+                # the target's next self-scheduled event.
+                event = target.next_event_cycle()
+                if event is None:
+                    # Deadlock.  Lockstep would spin to the budget accumulating
+                    # stall counters; reproduce that state, then raise.
+                    if max_cycles > cycles:
+                        target.advance(max_cycles - cycles)
+                        cycles = max_cycles
+                    raise self._budget_error(describe, cycles, max_cycles, detail)
+                span = min(event, max_cycles) - cycles
                 if span > 0:
-                    target.advance_active(span)
+                    target.advance(span)
                     previous = cycles
                     cycles += span
+                    if tracer is not None:
+                        tracer.instant("idle_jump", describe, cat="engine", span=span)
                     if (
                         progress_callback is not None
                         and cycles // progress_interval
                         > previous // progress_interval
                     ):
                         progress_callback(cycles)
-                    continue
-            if not busy or target.last_step_activity:
-                continue
-
-            # Fixpoint: nothing moved this cycle, so nothing can move until
-            # the target's next self-scheduled event.
-            event = target.next_event_cycle()
-            if event is None:
-                # Deadlock.  Lockstep would spin to the budget accumulating
-                # stall counters; reproduce that state, then raise.
-                if max_cycles > cycles:
-                    target.advance(max_cycles - cycles)
-                    cycles = max_cycles
-                raise self._budget_error(describe, cycles, max_cycles, detail)
-            span = min(event, max_cycles) - cycles
-            if span > 0:
-                target.advance(span)
-                previous = cycles
-                cycles += span
-                if (
-                    progress_callback is not None
-                    and cycles // progress_interval > previous // progress_interval
-                ):
-                    progress_callback(cycles)
-        return cycles
+            return cycles
+        finally:
+            _record_engine_run(jumps, skipped)
+            if tracer is not None:
+                tracer.maybe_end("engine", describe, cat="engine", cycles=cycles)

@@ -235,6 +235,39 @@ class ExplorationEngine:
             evaluations.append(score_candidate(candidate, design, features, chunk))
         return evaluations
 
+    @staticmethod
+    def _record_metrics(
+        evaluated: int, simulated: int, cache_hits: int, replayed: int
+    ) -> None:
+        """Fold one run() into the process-wide obs registry."""
+        from ..obs.metrics import get_registry
+
+        registry = get_registry()
+        for name, help, amount in (
+            (
+                "repro_explore_evaluated_total",
+                "Candidates scored across exploration runs.",
+                evaluated,
+            ),
+            (
+                "repro_explore_simulated_total",
+                "Backend simulations performed for exploration.",
+                simulated,
+            ),
+            (
+                "repro_explore_cache_hits_total",
+                "Exploration jobs resolved from the result cache.",
+                cache_hits,
+            ),
+            (
+                "repro_explore_replayed_total",
+                "Evaluations replayed from a run journal.",
+                replayed,
+            ),
+        ):
+            if amount:
+                registry.counter(name, help).inc(amount)
+
     # ------------------------------------------------------------------
     def run(
         self,
@@ -311,6 +344,12 @@ class ExplorationEngine:
                 order.append(key)
 
         evaluations = [evaluated[key] for key in order]
+        self._record_metrics(
+            evaluated=len(evaluations),
+            simulated=self.simulator.stats.executed - executed_before,
+            cache_hits=self.simulator.stats.cache_hits - hits_before,
+            replayed=sum(1 for e in evaluations if e.from_journal),
+        )
         return ExplorationReport(
             space=self.space.describe(),
             strategy=self.strategy.name,

@@ -90,6 +90,14 @@ class DataMaestroBackend(SimulationBackend):
             progress_interval=progress_interval,
         )
         functional = system.verify_outputs(result)
+        # Surface the macro-step engine's engagement (jumps, bulk-advanced
+        # cycles) through the outcome so the serve/cluster snapshots can
+        # aggregate it; absent (lockstep, pure next-event) stays absent.
+        macro = system.steady_stats()
+        if macro:
+            return SimOutcome.from_result(
+                job, result, functional_match=functional, macro_stats=macro
+            )
         return SimOutcome.from_result(job, result, functional_match=functional)
 
 

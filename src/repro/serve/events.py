@@ -33,6 +33,8 @@ import asyncio
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from ..obs.trace import get_tracer
+
 #: Every event kind the service emits, in no particular order.
 EVENT_KINDS = (
     "submitted",   # a job entered the service (every submission emits one)
@@ -159,6 +161,15 @@ class EventBus:
             kind=kind, job_hash=job_hash, client=client, seq=self._seq, **extra
         )
         self._seq += 1
+        # The one tracing hook of the whole thread service: every lifecycle
+        # edge flows through here, so the span timeline costs exactly one
+        # None check per event when tracing is off.
+        tracer = get_tracer()
+        if tracer is not None:
+            try:
+                tracer.record_service_event(event)
+            except Exception:  # noqa: BLE001 — tracing cannot break the service
+                pass
         for subscription in self._subscriptions:
             subscription._publish(event)
         for listener in self._listeners:

@@ -24,7 +24,7 @@ touches it from the event-loop thread.
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from typing import Deque, Dict, Generic, List, Optional, Tuple, TypeVar
+from typing import Callable, Deque, Dict, Generic, List, Optional, Tuple, TypeVar
 
 T = TypeVar("T")
 
@@ -60,13 +60,22 @@ class QueueFullError(RuntimeError):
 class FairQueue(Generic[T]):
     """Bounded priority queue with round-robin fairness across clients."""
 
-    def __init__(self, max_backlog: int, max_per_client: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        max_backlog: int,
+        max_per_client: Optional[int] = None,
+        on_depth: Optional[Callable[[int], None]] = None,
+    ) -> None:
         if max_backlog <= 0:
             raise ValueError("max_backlog must be positive")
         if max_per_client is not None and max_per_client <= 0:
             raise ValueError("max_per_client must be positive")
         self.max_backlog = max_backlog
         self.max_per_client = max_per_client
+        #: Optional observer called with the new depth after every size
+        #: change (the service feeds the tracer's queue-depth counter
+        #: track from here); observer failures never affect the queue.
+        self.on_depth = on_depth
         # priority -> (client -> FIFO of items); OrderedDict gives the
         # round-robin rotation via move_to_end on every pop.
         self._levels: Dict[int, "OrderedDict[str, Deque[T]]"] = {}
@@ -80,6 +89,13 @@ class FairQueue(Generic[T]):
     def client_backlog(self, client: str) -> int:
         """Entries currently queued for ``client``."""
         return self._per_client.get(client, 0)
+
+    def _notify_depth(self) -> None:
+        if self.on_depth is not None:
+            try:
+                self.on_depth(self._size)
+            except Exception:  # noqa: BLE001 — observers cannot break admission
+                pass
 
     # ------------------------------------------------------------------
     def push(self, item: T, client: str, priority: int = 0) -> None:
@@ -95,6 +111,7 @@ class FairQueue(Generic[T]):
         level[client].append(item)
         self._size += 1
         self._per_client[client] = mine + 1
+        self._notify_depth()
 
     def pop(self) -> Optional[Tuple[T, str, int]]:
         """Remove and return ``(item, client, priority)``; ``None`` if empty.
@@ -120,6 +137,7 @@ class FairQueue(Generic[T]):
             self._per_client[client] = remaining
         else:
             del self._per_client[client]
+        self._notify_depth()
         return item, client, priority
 
     def drain(self) -> List[Tuple[T, str, int]]:

@@ -35,9 +35,17 @@ from __future__ import annotations
 import asyncio
 import functools
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs.metrics import (
+    DEFAULT_LATENCY_BOUNDS,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    Sample,
+)
+from ..obs.trace import get_tracer
 from ..runtime.batch import execute_job_with_progress
 from ..runtime.cache import ResultCache
 from ..runtime.job import SimJob
@@ -89,123 +97,115 @@ class ServiceConfig:
             raise ValueError("progress_interval must be positive")
 
 
-#: Upper bucket bounds (seconds) of :class:`LatencyHistogram`; roughly
-#: logarithmic from 1 ms to 30 s, which brackets every workload the repo's
-#: cycle engines simulate.  The implicit final bucket is +inf.
-LATENCY_BUCKETS: Tuple[float, ...] = (
-    0.001,
-    0.0025,
-    0.005,
-    0.01,
-    0.025,
-    0.05,
-    0.1,
-    0.25,
-    0.5,
-    1.0,
-    2.5,
-    5.0,
-    10.0,
-    30.0,
-)
+#: Upper bucket bounds (seconds) of :class:`LatencyHistogram` — the
+#: package-wide latency bounds of the obs layer (roughly logarithmic from
+#: 1 ms to 30 s, which brackets every workload the repo's cycle engines
+#: simulate).  The implicit final bucket is +inf.
+LATENCY_BUCKETS: Tuple[float, ...] = DEFAULT_LATENCY_BOUNDS
 
 
-class LatencyHistogram:
+class LatencyHistogram(Histogram):
     """Fixed-bucket latency histogram (Prometheus-style cumulative bounds).
 
-    ``observe`` is a counter bump — cheap enough for the service's hot
-    completion path — and ``quantile`` interpolates within the winning
-    bucket, so percentile estimates stay stable without storing samples.
+    Since the telemetry layer landed this is the obs
+    :class:`~repro.obs.metrics.Histogram` specialised to the package-wide
+    latency bounds and the ``repro_latency_seconds`` exposition name — the
+    historical API (``observe`` / ``mean`` / ``quantile`` / ``as_dict``)
+    is unchanged, ``observe`` stays a counter bump cheap enough for the
+    completion path, and the quantile edge cases (empty, single sample,
+    q=0, overflow) are pinned down in ``tests/obs/test_metrics.py``.
     """
 
     def __init__(self, bounds: Tuple[float, ...] = LATENCY_BUCKETS) -> None:
-        self.bounds = bounds
-        self.counts = [0] * (len(bounds) + 1)  # final slot: > bounds[-1]
-        self.total_seconds = 0.0
-        self.count = 0
-
-    def observe(self, seconds: float) -> None:
-        index = 0
-        for bound in self.bounds:
-            if seconds <= bound:
-                break
-            index += 1
-        self.counts[index] += 1
-        self.count += 1
-        self.total_seconds += seconds
-
-    @property
-    def mean(self) -> float:
-        return self.total_seconds / self.count if self.count else 0.0
-
-    def __eq__(self, other: object) -> bool:
-        # Value equality keeps dataclasses holding a histogram comparable.
-        if not isinstance(other, LatencyHistogram):
-            return NotImplemented
-        return (
-            self.bounds == other.bounds
-            and self.counts == other.counts
-            and self.count == other.count
-            and self.total_seconds == other.total_seconds
+        super().__init__(
+            bounds,
+            name="repro_latency_seconds",
+            help="Admission-to-completion latency of executed jobs.",
         )
 
-    def __repr__(self) -> str:
-        return (
-            f"LatencyHistogram(count={self.count}, "
-            f"mean={self.mean:.6f}s)"
-        )
 
-    def quantile(self, q: float) -> float:
-        """Estimated ``q``-quantile (0..1) via in-bucket interpolation."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError("quantile must be in [0, 1]")
-        if self.count == 0:
-            return 0.0
-        rank = q * self.count
-        cumulative = 0
-        lower = 0.0
-        for index, bound in enumerate(self.bounds):
-            previous = cumulative
-            cumulative += self.counts[index]
-            if cumulative >= rank:
-                if self.counts[index] == 0:
-                    return bound
-                fraction = (rank - previous) / self.counts[index]
-                return lower + fraction * (bound - lower)
-            lower = bound
-        return self.bounds[-1]  # everything landed in the overflow bucket
-
-    def as_dict(self) -> Dict[str, object]:
-        return {
-            "count": self.count,
-            "mean_seconds": self.mean,
-            "p50_seconds": self.quantile(0.5),
-            "p90_seconds": self.quantile(0.9),
-            "p99_seconds": self.quantile(0.99),
-            "buckets": [
-                {"le": bound, "count": count}
-                for bound, count in zip(self.bounds, self.counts)
-            ]
-            + [{"le": None, "count": self.counts[-1]}],
-        }
-
-
-@dataclass
 class ServiceStats:
-    """Counters of one service instance (monotonic over its lifetime)."""
+    """Counters of one service instance (monotonic over its lifetime).
 
-    submitted: int = 0
-    coalesced: int = 0
-    cache_hits: int = 0
-    executed: int = 0
-    failed: int = 0
-    rejected: int = 0
-    cancelled: int = 0
-    #: Jobs completed per worker slot — skew here means unfair pop order
-    #: or one worker pinned on a long simulation.
-    per_worker_executed: Dict[int, int] = field(default_factory=dict)
-    #: Admission-to-completion latency of executed jobs.
-    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    The named counters are backed by :class:`~repro.obs.metrics.Counter`
+    objects in a per-service :class:`~repro.obs.metrics.MetricsRegistry`
+    (per-service so parallel services in one process never merge counts).
+    Attribute access keeps the historical dataclass feel: reads return
+    plain ints, and the ``stats.executed += 1`` idiom still works —
+    assignment routes the delta into the backing counter, which also
+    enforces monotonicity (a decrease raises ``ValueError``).
+    """
+
+    _COUNTERS = {
+        "submitted": ("repro_submitted_total", "Jobs submitted to the service."),
+        "coalesced": (
+            "repro_coalesced_total",
+            "Submissions that rode an identical in-flight job.",
+        ),
+        "cache_hits": (
+            "repro_cache_hits_total",
+            "Submissions resolved from the result cache.",
+        ),
+        "executed": ("repro_executed_total", "Jobs actually simulated by a backend."),
+        "failed": ("repro_failed_total", "Jobs whose backend raised."),
+        "rejected": (
+            "repro_rejected_total",
+            "Submissions bounced by the admission queue.",
+        ),
+        "cancelled": (
+            "repro_cancelled_total",
+            "Queued jobs cancelled by a non-draining close.",
+        ),
+    }
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            attr: self.registry.counter(name, help)
+            for attr, (name, help) in self._COUNTERS.items()
+        }
+        #: Jobs completed per worker slot — skew here means unfair pop
+        #: order or one worker pinned on a long simulation.
+        self.per_worker_executed: Dict[int, int] = {}
+        #: Admission-to-completion latency of executed jobs.
+        self.latency = LatencyHistogram()
+        self.registry.register(self.latency)
+        #: Macro-step engine totals accumulated from executed outcomes.
+        self.macro: Dict[str, int] = {"jumps": 0, "cycles_skipped": 0}
+        self.registry.add_callback(
+            "repro_worker_executed_total", self._worker_families
+        )
+
+    def __getattr__(self, name: str):
+        counters = self.__dict__.get("_counters")
+        if counters and name in counters:
+            return counters[name].value
+        raise AttributeError(
+            f"{type(self).__name__!s} object has no attribute {name!r}"
+        )
+
+    def __setattr__(self, name: str, value) -> None:
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            counters[name].inc(value - counters[name].value)
+            return
+        object.__setattr__(self, name, value)
+
+    def _worker_families(self) -> List[MetricFamily]:
+        per_worker = dict(self.per_worker_executed)
+        if not per_worker:
+            return []
+        return [
+            MetricFamily(
+                "repro_worker_executed_total",
+                "counter",
+                "Jobs completed per worker slot.",
+                tuple(
+                    Sample(labels={"worker": worker}, value=count)
+                    for worker, count in sorted(per_worker.items())
+                ),
+            )
+        ]
 
     @property
     def coalescing_hit_rate(self) -> float:
@@ -281,9 +281,24 @@ class SimulationService:
         self.cache = cache
         self.config = config or ServiceConfig()
         self.stats = ServiceStats()
+        #: The per-service metrics registry backing :attr:`stats`; the
+        #: depth/inflight gauges read the live structures on collection.
+        self.metrics = self.stats.registry
+        self.metrics.gauge(
+            "repro_queue_depth",
+            "Jobs admitted but not yet picked up by a worker.",
+            fn=self.backlog,
+        )
+        self.metrics.gauge(
+            "repro_inflight",
+            "Unique jobs between admission and completion.",
+            fn=self.inflight,
+        )
         self.events = EventBus()
         self._queue: FairQueue[_Entry] = FairQueue(
-            self.config.max_backlog, self.config.max_backlog_per_client
+            self.config.max_backlog,
+            self.config.max_backlog_per_client,
+            on_depth=self._on_queue_depth,
         )
         self._inflight: Dict[str, _Entry] = {}
         self._workers: List[asyncio.Task] = []
@@ -515,6 +530,12 @@ class SimulationService:
         """Jobs admitted but not yet picked up by a worker."""
         return len(self._queue)
 
+    def _on_queue_depth(self, depth: int) -> None:
+        """Queue depth change → tracer counter track (when tracing)."""
+        tracer = get_tracer()
+        if tracer is not None:
+            tracer.counter("queue_depth", {"jobs": depth})
+
     def inflight(self) -> int:
         """Unique jobs somewhere between admission and completion."""
         return len(self._inflight)
@@ -541,6 +562,8 @@ class SimulationService:
             "cache_hit_rate": self.stats.cache_hit_rate,
             "per_worker_executed": dict(self.stats.per_worker_executed),
             "latency": self.stats.latency.as_dict(),
+            "macro": dict(self.stats.macro),
+            "cache": self.cache.stats() if self.cache is not None else None,
         }
 
     def describe(self) -> Dict[str, object]:
@@ -592,6 +615,9 @@ class SimulationService:
                 progress_interval=self.config.progress_interval,
             )
             if self.cache is not None:
+                tracer = get_tracer()
+                if tracer is not None:
+                    tracer.begin("write_back", entry.key, cat="job")
                 try:
                     self.cache.put(entry.key, outcome)
                 except Exception as error:  # noqa: BLE001 — best-effort cache
@@ -603,6 +629,9 @@ class SimulationService:
                         RuntimeWarning,
                         stacklevel=2,
                     )
+                finally:
+                    if tracer is not None:
+                        tracer.maybe_end("write_back", entry.key, cat="job")
             return outcome
 
         try:
@@ -627,6 +656,10 @@ class SimulationService:
         self.stats.per_worker_executed[worker_index] = (
             self.stats.per_worker_executed.get(worker_index, 0) + 1
         )
+        macro = outcome.metrics.get("macro_stats")
+        if isinstance(macro, dict):
+            self.stats.macro["jumps"] += int(macro.get("jumps", 0))
+            self.stats.macro["cycles_skipped"] += int(macro.get("cycles_skipped", 0))
         if entry.enqueued_at:
             self.stats.latency.observe(time.monotonic() - entry.enqueued_at)
         self._inflight.pop(entry.key, None)

@@ -106,3 +106,66 @@ class TestServiceSnapshot:
         after = client.snapshot()
         assert after["executed"] == 3
         assert after["latency"]["count"] == 3
+
+
+class TestStatsRegistryBacking:
+    """ServiceStats counters live on an obs registry; the `+=` idiom and
+    plain-int reads are unchanged, and every count is scrapeable."""
+
+    def test_counters_visible_through_registry(self, stub_backend, make_job):
+        backend = stub_backend()
+        client = ServiceClient(config=ServiceConfig(max_workers=1))
+        try:
+            job = make_job(backend.name)
+            client.run([job, job])  # second submission coalesces
+        finally:
+            client.close()
+        stats = client.service.stats
+        assert isinstance(stats.executed, int)
+        assert stats.executed == 1
+        assert stats.coalesced == 1
+        families = {f.name: f for f in client.service.metrics.collect()}
+        assert families["repro_executed_total"].samples[0].value == 1
+        assert families["repro_coalesced_total"].samples[0].value == 1
+        assert "repro_latency_seconds" in families
+        workers = families["repro_worker_executed_total"].samples
+        assert sum(s.value for s in workers) == 1
+
+    def test_parallel_services_do_not_share_counters(self, stub_backend, make_job):
+        backend = stub_backend()
+        first = ServiceClient(config=ServiceConfig(max_workers=1))
+        second = ServiceClient(config=ServiceConfig(max_workers=1))
+        try:
+            first.run([make_job(backend.name, tag=1)])
+        finally:
+            first.close()
+            second.close()
+        assert first.service.stats.executed == 1
+        assert second.service.stats.executed == 0
+
+    def test_snapshot_carries_macro_and_cache_sections(
+        self, tmp_path, stub_backend, make_job
+    ):
+        backend = stub_backend()
+        client = ServiceClient(
+            cache_dir=tmp_path / "cache", config=ServiceConfig(max_workers=1)
+        )
+        try:
+            client.run([make_job(backend.name)])
+            snapshot = client.snapshot()
+        finally:
+            client.close()
+        assert snapshot["macro"] == {"jumps": 0, "cycles_skipped": 0}
+        cache = snapshot["cache"]
+        assert cache["entries"] == 1  # the executed outcome was written back
+        assert cache["misses"] == 1  # the admission probe missed
+
+    def test_cacheless_snapshot_has_null_cache(self, stub_backend, make_job):
+        backend = stub_backend()
+        client = ServiceClient(cache_dir=None, config=ServiceConfig(max_workers=1))
+        try:
+            client.run([make_job(backend.name)])
+            snapshot = client.snapshot()
+        finally:
+            client.close()
+        assert snapshot["cache"] is None

@@ -318,3 +318,172 @@ class TestCacheCommand:
         capsys.readouterr()
         assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
         assert "cleared 2 entries" in capsys.readouterr().out
+
+
+class TestServeObservability:
+    def test_stats_format_json_emits_parseable_lines(self, capsys):
+        import json
+
+        argv = [
+            "serve",
+            "gemm:8x8x8",
+            "--repeat",
+            "2",
+            "--no-cache",
+            "--stats-interval",
+            "60",  # only the guaranteed end-of-stream record fires
+            "--stats-format",
+            "json",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        records = [
+            json.loads(line) for line in out.splitlines() if line.startswith("{")
+        ]
+        assert len(records) >= 1
+        final = records[-1]
+        assert final["submitted"] == 2
+        assert final["executed"] == 1
+        assert final["latency"]["count"] == 1
+
+    def test_stats_format_text_stays_human(self, capsys):
+        argv = [
+            "serve",
+            "gemm:8x8x8",
+            "--no-cache",
+            "--stats-interval",
+            "60",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "submitted=1" in out
+        assert "{" not in out.splitlines()[0]
+
+    def test_serve_metrics_port_scrapeable_while_serving(self, capsys):
+        import re
+        import urllib.request
+
+        argv = [
+            "serve",
+            "gemm:8x8x8",
+            "--repeat",
+            "3",
+            "--no-cache",
+            "--metrics-port",
+            "0",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        match = re.search(r"metrics: (http://127\.0\.0\.1:\d+)/metrics", out)
+        assert match, f"no metrics URL announced in: {out!r}"
+        # The server is closed with the stream; the port must be released.
+        with pytest.raises(Exception):
+            urllib.request.urlopen(f"{match.group(1)}/healthz", timeout=1)
+
+    def test_serve_rejects_out_of_range_metrics_port(self, capsys):
+        argv = ["serve", "gemm:8x8x8", "--no-cache", "--metrics-port", "99999"]
+        assert main(argv) == 2
+        assert "--metrics-port" in capsys.readouterr().err
+
+    def test_serve_trace_exports_chrome_json(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        argv = [
+            "serve",
+            "gemm:8x8x8",
+            "--repeat",
+            "3",
+            "--no-cache",
+            "--trace",
+            str(trace_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out and str(trace_path) in out
+        document = json.loads(trace_path.read_text())
+        events = document["traceEvents"]
+        names = {event["name"] for event in events}
+        # submit -> settle of the executed job, plus the coalesced riders.
+        assert {"job", "queued", "executing", "coalesced"} <= names
+        # Every opened job span settled (a late duplicate may open a
+        # second span on the same track after the first one finished).
+        job_edges = [e["ph"] for e in events if e["name"] == "job"]
+        assert job_edges.count("b") >= 1
+        assert job_edges.count("b") == job_edges.count("e")
+        # Tracing is torn down with the run: nothing global leaks.
+        from repro.obs.trace import get_tracer
+
+        assert get_tracer() is None
+
+    def test_trace_env_knob_enables_tracing(self, tmp_path, capsys, monkeypatch):
+        from repro import config
+
+        trace_path = tmp_path / "env-trace.json"
+        monkeypatch.setenv("REPRO_TRACE", str(trace_path))
+        monkeypatch.setattr(config, "_PINNED", None)
+        assert main(["serve", "gemm:8x8x8", "--no-cache"]) == 0
+        assert trace_path.exists()
+
+
+class TestMetricsCommand:
+    def test_metrics_once_prints_build_info(self, tmp_path, capsys):
+        argv = ["metrics", "--once", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_build_info gauge" in out
+        assert "repro_build_info{version=" in out
+        assert "repro_result_cache_entries 0" in out
+
+    def test_metrics_once_reflects_cache_contents(self, tmp_path, capsys):
+        assert main(["batch", "gemm:8x8x8", "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["metrics", "--once", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro_result_cache_entries 1" in out
+
+    def test_metrics_serves_for_duration(self, tmp_path, capsys):
+        import re
+        import threading
+        import urllib.request
+
+        scraped = {}
+
+        def run():
+            scraped["code"] = main(
+                [
+                    "metrics",
+                    "--port",
+                    "0",
+                    "--duration",
+                    "3",
+                    "--cache-dir",
+                    str(tmp_path),
+                ]
+            )
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        import time
+
+        deadline = time.monotonic() + 5
+        url = None
+        while time.monotonic() < deadline and url is None:
+            out = capsys.readouterr().out
+            match = re.search(r"metrics: (http://127\.0\.0\.1:\d+)/metrics", out)
+            if match:
+                url = match.group(1)
+            else:
+                time.sleep(0.05)
+        assert url, "metrics URL never announced"
+        with urllib.request.urlopen(f"{url}/metrics", timeout=5) as response:
+            body = response.read().decode("utf-8")
+        assert "repro_build_info" in body
+        thread.join(timeout=10)
+        assert scraped["code"] == 0
+
+    def test_metrics_rejects_bad_port_and_duration(self, capsys):
+        assert main(["metrics", "--port", "-1", "--once"]) == 2
+        assert "--port" in capsys.readouterr().err
+        assert main(["metrics", "--duration", "0"]) == 2
+        assert "--duration" in capsys.readouterr().err

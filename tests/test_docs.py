@@ -184,6 +184,45 @@ class TestCoverageOfDocsTree:
         ):
             assert needle in text, f"SERVE.md lost its {needle!r} coverage"
 
+    def test_observability_doc_covers_the_promised_surface(self):
+        """OBSERVABILITY.md documents every metric family the exporter
+        emits, the trace span glossary and the dashboard walkthrough."""
+        text = (DOCS / "OBSERVABILITY.md").read_text(encoding="utf-8")
+        for needle in (
+            "--metrics-port",
+            "--trace",
+            "--stats-format",
+            "/metrics",
+            "/snapshot",
+            "/config",
+            "repro_latency_seconds",
+            "repro_journal_recovered_total",
+            "repro_shard_executed_total",
+            "repro_build_info",
+            "shard_routed",
+            "write_back",
+            "Perfetto",
+            "Dashboard walkthrough",
+        ):
+            assert needle in text, f"OBSERVABILITY.md lost its {needle!r} coverage"
+
+    def test_observability_doc_metric_names_match_the_exporter(self):
+        """Every snapshot-derived family name must appear in the doc's
+        metric table — renaming a family without documenting it fails."""
+        from repro.obs import exposition
+
+        text = (DOCS / "OBSERVABILITY.md").read_text(encoding="utf-8")
+        names = [
+            name
+            for _, name, _ in (
+                exposition._COMMON_COUNTERS
+                + exposition._THREAD_ONLY_COUNTERS
+                + exposition._CLUSTER_ONLY_COUNTERS
+            )
+        ]
+        for name in names:
+            assert name in text, f"{name} missing from the OBSERVABILITY.md table"
+
     def test_serve_doc_covers_the_cluster(self):
         """The sharding section documents every cluster guarantee the
         tests in ``tests/cluster/`` enforce."""
