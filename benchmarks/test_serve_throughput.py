@@ -115,7 +115,16 @@ def bench_results(tmp_path_factory):
         "config": {"max_workers": config.max_workers, "max_backlog": config.max_backlog},
     }
     BENCH_OUT_DIR.mkdir(parents=True, exist_ok=True)
-    BENCH_PATH.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+    # Merge-write: other benchmark files (e.g. the replay regimes) may have
+    # written their sections into the same report already this run.
+    data = {}
+    if BENCH_PATH.exists():
+        try:
+            data = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+        except ValueError:
+            data = {}
+    data.update(results)
+    BENCH_PATH.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
     return results
 
 

@@ -51,7 +51,7 @@ from .core.params import FeatureSet, StreamerDesign, StreamerMode, StreamerRunti
 from .core.streamer import DataMaestro
 from .memory.addressing import AddressingMode, BankGeometry
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 from .engine import DEFAULT_ENGINE, EVENT_ENGINE, LOCKSTEP_ENGINE, available_engines
 from .runtime import BatchRunner, SimJob, SimOutcome, Simulator, simulate

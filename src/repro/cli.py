@@ -34,6 +34,11 @@ Provides quick access to the main entry points without writing Python:
   serving Prometheus ``/metrics``, a JSON ``/snapshot``, a ``/config``
   report and a live dashboard, plus a Chrome trace-event timeline written
   on exit (see ``docs/OBSERVABILITY.md``);
+* ``python -m repro.cli replay --regime hotkey --requests 200 --shards 2``
+  — drive the service with a realistic arrival trace (Poisson, diurnal,
+  correlated-burst or Zipf hot-key-skew regimes, or a recorded JSONL trace)
+  and report p50/p99 latency, coalesce rate and cache hit-rate (see
+  ``docs/SCENARIOS.md``);
 * ``python -m repro.cli metrics --once`` — print one Prometheus text scrape
   of the process-wide registry (or serve it over HTTP without ``--once``);
 * ``python -m repro.cli cache info|prune|clear`` — inspect or bound the
@@ -748,6 +753,114 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Replay an arrival trace (synthetic regime or recorded JSONL) against
+    the service and report latency/avoidance per regime."""
+    from pathlib import Path
+
+    from .config import get_config
+    from .serve import ServiceClient, ServiceConfig
+    from .serve.replay import (
+        REGIMES,
+        build_trace,
+        default_pool,
+        load_trace,
+        replay_trace,
+        save_trace,
+    )
+
+    if args.backend not in available_backends():
+        print(
+            f"error: unknown backend {args.backend!r}; "
+            f"available: {available_backends()}",
+            file=sys.stderr,
+        )
+        return 2
+    for flag, value in (
+        ("--requests", args.requests),
+        ("--rate", args.rate),
+        ("--pool", args.pool),
+        ("--workers", args.workers),
+        ("--backlog", args.backlog),
+        ("--time-scale", args.time_scale),
+    ):
+        if value <= 0:
+            print(f"error: {flag} must be positive", file=sys.stderr)
+            return 2
+    runtime_config = get_config()
+    shards = args.shards if args.shards is not None else runtime_config.serve_shards
+    if shards < 0:
+        print("error: --shards must be non-negative", file=sys.stderr)
+        return 2
+    seed = args.seed if args.seed is not None else runtime_config.fuzz_seed
+
+    if args.trace_file is not None:
+        try:
+            trace = load_trace(Path(args.trace_file))
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if not trace:
+            print(f"error: {args.trace_file} holds no events", file=sys.stderr)
+            return 2
+        regime = "trace"
+    else:
+        if args.workloads:
+            try:
+                pool = [parse_workload_spec(spec) for spec in args.workloads]
+            except ValueError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+        else:
+            pool = default_pool(args.pool, seed=seed)
+        trace = build_trace(args.regime, args.requests, args.rate, pool, seed=seed)
+        regime = args.regime
+    if args.record is not None:
+        save_trace(Path(args.record), trace)
+        print(f"recorded {len(trace)} events -> {args.record}")
+
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    if shards > 0:
+        from .cluster import ClusterConfig, ClusterService
+
+        client = ClusterService(
+            cache_dir=cache_dir,
+            config=ClusterConfig(
+                shards=shards,
+                worker_threads=args.workers,
+                max_backlog=args.backlog,
+            ),
+        )
+    else:
+        client = ServiceClient(
+            cache_dir=cache_dir,
+            config=ServiceConfig(
+                max_workers=args.workers,
+                max_backlog=args.backlog,
+            ),
+        )
+    try:
+        report = replay_trace(
+            client,
+            trace,
+            regime=regime,
+            backend=args.backend,
+            engine=args.engine,
+            seed=seed,
+            time_scale=args.time_scale,
+        )
+    finally:
+        client.close(drain=True)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        shape = REGIMES.get(regime)
+        if shape is not None:
+            print(f"regime {shape.name}: {shape.description}")
+        print(f"replay: {report.summary_line()}")
+    return 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     """Inspect, prune or clear the on-disk result cache."""
     from .runtime import ResultCache
@@ -1181,6 +1294,126 @@ def build_parser() -> argparse.ArgumentParser:
         "'lockstep' is the legacy per-cycle loop (see docs/ENGINE.md)",
     )
     serve.set_defaults(func=cmd_serve)
+
+    replay = subparsers.add_parser(
+        "replay",
+        help="drive the service with a realistic arrival trace and report "
+        "latency/coalescing per regime (see docs/SCENARIOS.md)",
+    )
+    replay.add_argument(
+        "workloads",
+        nargs="*",
+        metavar="SPEC",
+        help="optional workload pool specs (e.g. gemm:16x16x16); default: a "
+        "seeded generator pool of --pool distinct small workloads",
+    )
+    replay.add_argument(
+        "--regime",
+        choices=("poisson", "diurnal", "bursty", "hotkey"),
+        default="poisson",
+        help="synthetic arrival regime (ignored with --trace-file; "
+        "default: poisson)",
+    )
+    replay.add_argument(
+        "--requests",
+        type=int,
+        default=100,
+        metavar="N",
+        help="number of arrivals to synthesise (default: 100)",
+    )
+    replay.add_argument(
+        "--rate",
+        type=float,
+        default=200.0,
+        metavar="PER_SEC",
+        help="nominal arrival rate in requests/second (default: 200)",
+    )
+    replay.add_argument(
+        "--pool",
+        type=int,
+        default=24,
+        metavar="N",
+        help="size of the generated workload pool — the request key space "
+        "(default: 24)",
+    )
+    replay.add_argument(
+        "--time-scale",
+        type=float,
+        default=1.0,
+        metavar="FACTOR",
+        help="multiply arrival gaps by FACTOR (< 1 compresses the trace; "
+        "default: 1.0)",
+    )
+    replay.add_argument(
+        "--trace-file",
+        default=None,
+        metavar="PATH",
+        help="replay a recorded JSONL trace instead of synthesising one",
+    )
+    replay.add_argument(
+        "--record",
+        default=None,
+        metavar="PATH",
+        help="write the (synthesised or loaded) trace as JSONL to PATH "
+        "before replaying it",
+    )
+    replay.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="replay against the N-process sharded cluster (default: "
+        "$REPRO_SERVE_SHARDS or 0 = single-process thread service)",
+    )
+    replay.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker threads per service/shard (default: 2)",
+    )
+    replay.add_argument(
+        "--backlog",
+        type=int,
+        default=256,
+        metavar="N",
+        help="bounded admission-queue depth (default: 256)",
+    )
+    replay.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="trace/pool seed (default: $REPRO_FUZZ_SEED, else 0)",
+    )
+    replay.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full replay report as JSON instead of one summary line",
+    )
+    replay.add_argument(
+        "--backend",
+        default=DATAMAESTRO_BACKEND,
+        help="simulation backend (datamaestro or baseline:<slug>)",
+    )
+    replay.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="result-cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-datamaestro)",
+    )
+    replay.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk result cache"
+    )
+    replay.add_argument(
+        "--engine",
+        choices=available_engines(),
+        default=DEFAULT_ENGINE,
+        help="simulation engine: 'event' skips provably idle cycles, "
+        "'lockstep' is the legacy per-cycle loop (see docs/ENGINE.md)",
+    )
+    replay.set_defaults(func=cmd_replay)
 
     cache = subparsers.add_parser(
         "cache", help="inspect, prune or clear the on-disk result cache"

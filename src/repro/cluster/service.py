@@ -241,6 +241,15 @@ class ClusterTicket:
     def done(self) -> bool:
         return self._future.done()
 
+    def add_done_callback(self, callback) -> None:
+        """Invoke ``callback(ticket)`` when the outcome settles.
+
+        Runs on the completing thread (or immediately when already done) —
+        :class:`~repro.serve.client.ClientTicket` API parity, used by the
+        replay harness to timestamp completions.
+        """
+        self._future.add_done_callback(lambda _future: callback(self))
+
 
 @dataclass
 class _ClusterEntry:

@@ -36,6 +36,7 @@ __all__ = [
     "ENV_BENCH_OUT",
     "ENV_CACHE_DIR",
     "ENV_FULL_SUITE",
+    "ENV_FUZZ_SEED",
     "ENV_JOURNAL_DIR",
     "ENV_METRICS_PORT",
     "ENV_SERVE_SHARDS",
@@ -65,6 +66,8 @@ ENV_BENCH_OUT = "REPRO_BENCH_OUT"
 ENV_METRICS_PORT = "REPRO_METRICS_PORT"
 #: Chrome trace-event JSON output path (unset = tracing disabled).
 ENV_TRACE = "REPRO_TRACE"
+#: Base seed of every randomised test/fuzz run (reproduce CI failures).
+ENV_FUZZ_SEED = "REPRO_FUZZ_SEED"
 
 
 def _parse_bool(value: Optional[str]) -> bool:
@@ -112,6 +115,10 @@ class RuntimeConfig:
         When set, ``repro serve`` records a per-job span timeline and
         exports it as Chrome trace-event JSON at this path on exit
         (``$REPRO_TRACE``).
+    fuzz_seed:
+        Base seed of every randomised test — the parity fuzz suite, the
+        replay soak — so one env var reproduces any CI failure exactly
+        (``$REPRO_FUZZ_SEED``).
     """
 
     cache_dir: Path = field(default_factory=_default_cache_dir)
@@ -122,6 +129,7 @@ class RuntimeConfig:
     bench_out: Optional[Path] = None
     metrics_port: int = 0
     trace_path: Optional[Path] = None
+    fuzz_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.serve_shards < 0:
@@ -156,6 +164,13 @@ class RuntimeConfig:
                 f"{ENV_METRICS_PORT}={port_text!r} is not an integer"
             ) from error
         trace_path = Path(env[ENV_TRACE]) if env.get(ENV_TRACE) else None
+        seed_text = env.get(ENV_FUZZ_SEED, "")
+        try:
+            fuzz_seed = int(seed_text) if seed_text else 0
+        except ValueError as error:
+            raise ValueError(
+                f"{ENV_FUZZ_SEED}={seed_text!r} is not an integer"
+            ) from error
         return cls(
             cache_dir=cache_dir,
             journal_dir=journal_dir,
@@ -165,6 +180,7 @@ class RuntimeConfig:
             bench_out=bench_out,
             metrics_port=metrics_port,
             trace_path=trace_path,
+            fuzz_seed=fuzz_seed,
         )
 
     def with_overrides(self, **changes: object) -> "RuntimeConfig":
@@ -215,6 +231,7 @@ _FIELD_ENV = {
     "bench_out": ENV_BENCH_OUT,
     "metrics_port": ENV_METRICS_PORT,
     "trace_path": ENV_TRACE,
+    "fuzz_seed": ENV_FUZZ_SEED,
 }
 
 

@@ -24,7 +24,11 @@ Entry points:
 * ``python -m repro.cli serve …`` — the CLI daemon;
 * ``Simulator(service=client)`` / ``BatchRunner(service=client)`` /
   ``ExplorationEngine(service=client)`` — route existing call sites
-  through one shared scheduler and cache.
+  through one shared scheduler and cache;
+* :func:`replay_trace` / ``python -m repro.cli replay`` — drive the
+  service with realistic arrival traces (Poisson, diurnal, bursty,
+  hot-key-skewed, or recorded JSONL) and report per-regime latency and
+  avoidance (:mod:`repro.serve.replay`, ``docs/SCENARIOS.md``).
 
 See ``docs/SERVE.md`` for the full guide (including when to prefer the
 bare :class:`~repro.runtime.simulator.Simulator`) and
@@ -34,6 +38,16 @@ bare :class:`~repro.runtime.simulator.Simulator`) and
 from .client import ClientTicket, ServiceClient
 from .events import EVENT_KINDS, EventSubscription, ServiceEvent
 from .queue import FairQueue, QueueFullError
+from .replay import (
+    REGIMES,
+    ReplayRegime,
+    ReplayReport,
+    TraceEvent,
+    build_trace,
+    load_trace,
+    replay_trace,
+    save_trace,
+)
 from .service import (
     JobTicket,
     LatencyHistogram,
@@ -51,6 +65,14 @@ __all__ = [
     "JobTicket",
     "LatencyHistogram",
     "QueueFullError",
+    "REGIMES",
+    "ReplayRegime",
+    "ReplayReport",
+    "TraceEvent",
+    "build_trace",
+    "load_trace",
+    "replay_trace",
+    "save_trace",
     "ServiceClient",
     "ServiceClosedError",
     "ServiceConfig",

@@ -59,6 +59,15 @@ class ClientTicket:
     def done(self) -> bool:
         return self._future.done()
 
+    def add_done_callback(self, callback) -> None:
+        """Invoke ``callback(ticket)`` when the outcome settles.
+
+        Runs on the completing thread (or immediately when already done);
+        the replay harness uses this to timestamp completions without a
+        waiter thread per request.
+        """
+        self._future.add_done_callback(lambda _future: callback(self))
+
 
 class ServiceClient:
     """Blocking wrapper that runs a :class:`SimulationService` on a thread.

@@ -50,7 +50,19 @@ class NetworkModel:
         return sum(layer.total_macs for layer in self.layers)
 
     def unique_workloads(self) -> List[Workload]:
-        return [layer.workload for layer in self.layers]
+        """Layer workloads with repeats removed, first-occurrence order.
+
+        Repeated stages (stacked residual blocks, per-layer transformer
+        sub-blocks) share one workload spec; deduplicating here keeps the
+        parity/perf suites from simulating identical kernels repeatedly.
+        """
+        unique: List[Workload] = []
+        seen = set()
+        for layer in self.layers:
+            if layer.workload not in seen:
+                seen.add(layer.workload)
+                unique.append(layer.workload)
+        return unique
 
 
 def _conv(

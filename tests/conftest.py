@@ -1,0 +1,27 @@
+"""Repo-wide test fixtures.
+
+``fuzz_seed`` is the single source of randomness for every randomised test
+(the parity fuzz suite, the replay soak, the generator properties).  It
+resolves ``$REPRO_FUZZ_SEED`` through the typed config and prints the value,
+so a failing CI run shows exactly which seed to export locally:
+
+    REPRO_FUZZ_SEED=1234 python -m pytest tests/engine/test_parity_fuzz.py
+"""
+
+import pytest
+
+from repro.config import get_config
+
+ENV_HINT = "REPRO_FUZZ_SEED"
+
+
+@pytest.fixture
+def fuzz_seed(request):
+    """The base seed of this test's randomness, reproducible via one env var.
+
+    The value is printed (pytest surfaces captured stdout on failure), so
+    every failing randomised test names its exact reproduction command.
+    """
+    seed = get_config().fuzz_seed
+    print(f"\n[fuzz] {request.node.nodeid}: rerun with {ENV_HINT}={seed}")
+    return seed

@@ -8,6 +8,7 @@ from repro.config import (
     ENV_BENCH_OUT,
     ENV_CACHE_DIR,
     ENV_FULL_SUITE,
+    ENV_FUZZ_SEED,
     ENV_JOURNAL_DIR,
     ENV_SERVE_SHARDS,
     ENV_STRICT_BENCH,
@@ -37,6 +38,7 @@ class TestFromEnv:
         assert config.strict_bench is False
         assert config.serve_shards == 0
         assert config.bench_out is None
+        assert config.fuzz_seed == 0
 
     def test_reads_every_knob(self, tmp_path):
         config = RuntimeConfig.from_env(
@@ -47,6 +49,7 @@ class TestFromEnv:
                 ENV_STRICT_BENCH: "yes",
                 ENV_SERVE_SHARDS: "4",
                 ENV_BENCH_OUT: str(tmp_path / "bench"),
+                ENV_FUZZ_SEED: "1234",
             }
         )
         assert config.cache_dir == tmp_path / "cache"
@@ -55,6 +58,7 @@ class TestFromEnv:
         assert config.strict_bench is True
         assert config.serve_shards == 4
         assert config.bench_out == tmp_path / "bench"
+        assert config.fuzz_seed == 1234
 
     def test_journal_dir_defaults_under_cache_dir(self, tmp_path):
         config = RuntimeConfig.from_env({ENV_CACHE_DIR: str(tmp_path)})
@@ -67,6 +71,15 @@ class TestFromEnv:
     def test_negative_shards_rejected(self):
         with pytest.raises(ValueError):
             RuntimeConfig(serve_shards=-1)
+
+    def test_bad_fuzz_seed_is_a_typed_error(self):
+        with pytest.raises(ValueError, match=ENV_FUZZ_SEED):
+            RuntimeConfig.from_env({ENV_FUZZ_SEED: "lucky"})
+
+    def test_negative_fuzz_seed_is_legal(self):
+        # Any int seeds random.Random; only non-ints are rejected.
+        config = RuntimeConfig.from_env({ENV_FUZZ_SEED: "-3"})
+        assert config.fuzz_seed == -3
 
 
 class TestBoolConvention:

@@ -109,7 +109,15 @@ class TestCliDocDrift:
         from repro.engine import available_engines
 
         assert set(available_engines()) == {"event", "lockstep"}
-        for name in ("simulate-gemm", "batch", "sweep", "explore", "serve", "selftest"):
+        for name in (
+            "simulate-gemm",
+            "batch",
+            "sweep",
+            "explore",
+            "serve",
+            "replay",
+            "selftest",
+        ):
             sub = subcommands()[name]
             engine_actions = [a for a in sub._actions if a.dest == "engine"]
             assert engine_actions, f"{name} lost its --engine flag"
@@ -222,6 +230,55 @@ class TestCoverageOfDocsTree:
         ]
         for name in names:
             assert name in text, f"{name} missing from the OBSERVABILITY.md table"
+
+    def test_scenarios_doc_covers_the_promised_surface(self):
+        """SCENARIOS.md documents the generator grammar, the shrinker and
+        the replay CLI walkthrough."""
+        text = (DOCS / "SCENARIOS.md").read_text(encoding="utf-8")
+        for needle in (
+            "WorkloadGenerator",
+            "shrink",
+            "regression_snippet",
+            "REPRO_FUZZ_SEED",
+            "Replay CLI walkthrough",
+            "--trace-file",
+            "--record",
+            "avoided fraction",
+            "BENCH_serve.json",
+        ):
+            assert needle in text, f"SCENARIOS.md lost its {needle!r} coverage"
+
+    def test_every_arrival_regime_documented(self):
+        """Adding a regime to REGIMES without a SCENARIOS.md row fails."""
+        from repro.serve.replay import REGIMES
+
+        text = (DOCS / "SCENARIOS.md").read_text(encoding="utf-8")
+        assert len(REGIMES) >= 4
+        for name in REGIMES:
+            assert f"`{name}`" in text, (
+                f"arrival regime {name!r} missing from the SCENARIOS.md "
+                f"regime table"
+            )
+
+    def test_every_generator_family_documented(self):
+        """Every scenario family the generator samples has a grammar row."""
+        from repro.workloads import FAMILIES
+
+        text = (DOCS / "SCENARIOS.md").read_text(encoding="utf-8")
+        for family in FAMILIES:
+            assert f"`{family}`" in text, (
+                f"generator family {family!r} missing from the SCENARIOS.md "
+                f"family table"
+            )
+
+    def test_replay_regimes_match_the_cli_choices(self):
+        """The `repro replay --regime` choices are exactly the registry."""
+        from repro.serve.replay import REGIMES
+
+        sub = subcommands()["replay"]
+        regime_actions = [a for a in sub._actions if a.dest == "regime"]
+        assert regime_actions, "replay lost its --regime flag"
+        assert set(regime_actions[0].choices) == set(REGIMES)
 
     def test_serve_doc_covers_the_cluster(self):
         """The sharding section documents every cluster guarantee the

@@ -133,3 +133,50 @@ class TestNetworkTables:
             from repro.workloads.networks import NetworkLayer
 
             NetworkLayer(GemmWorkload(name="x", m=8, n=8, k=8), count=0)
+
+    def test_unique_workloads_deduplicates_repeats(self):
+        from repro.workloads.networks import NetworkLayer, NetworkModel
+
+        shared = GemmWorkload(name="block_proj", m=16, n=16, k=16)
+        other = GemmWorkload(name="head", m=4, n=8, k=16)
+        model = NetworkModel(
+            name="toy",
+            kind="Transformer",
+            layers=(
+                NetworkLayer(shared, count=2),
+                NetworkLayer(other),
+                NetworkLayer(shared),  # same spec listed again
+            ),
+        )
+        unique = model.unique_workloads()
+        assert unique == [shared, other]  # first-occurrence order, no repeats
+
+    def test_unique_workloads_keeps_distinct_layers_intact(self):
+        for model in benchmark_networks().values():
+            unique = model.unique_workloads()
+            assert len(unique) == len(set(unique))
+            # Every layer's workload is still represented.
+            assert set(unique) == {layer.workload for layer in model.layers}
+
+    def test_total_macs_sanity_table(self):
+        """One table pinning every model's total MACs to its published
+        ballpark — a drifted layer table moves the total and fails here."""
+        expectations = {
+            "ResNet-18": (1.6e9, 2.1e9),
+            "VGG-16": (1.4e10, 1.6e10),
+            "ViT-B-16": (1.5e10, 2.0e10),
+            "BERT-Base": (0.9e10, 1.3e10),
+            "MobileNet-V2": (2.5e8, 3.5e8),
+        }
+        networks = benchmark_networks()
+        assert set(expectations) == set(networks)
+        for name, (low, high) in expectations.items():
+            model = networks[name]
+            assert low < model.total_macs < high, (
+                f"{name}: total_macs={model.total_macs:.3e} outside "
+                f"({low:.1e}, {high:.1e})"
+            )
+            # The total is exactly the count-weighted layer sum.
+            assert model.total_macs == sum(
+                layer.workload.macs * layer.count for layer in model.layers
+            )
